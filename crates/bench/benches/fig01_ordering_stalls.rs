@@ -1,0 +1,13 @@
+//! Figure 1: ordering stalls in conventional SC/TSO/RMO implementations.
+
+use ifence_bench::{paper_params, print_header, workload_suite};
+use ifence_sim::figures;
+
+fn main() {
+    print_header(
+        "Figure 1",
+        "Ordering stalls (SB drain / SB full) as a percent of execution time for conventional SC, TSO and RMO",
+    );
+    let (_, table) = figures::figure1(&workload_suite(), &paper_params());
+    println!("{table}");
+}

@@ -1,0 +1,76 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every table and figure of the paper has a `cargo bench` target in
+//! `benches/` (they are plain binaries, not Criterion timing loops, because
+//! what they produce is the figure's *data*). The experiment size is taken
+//! from the `IFENCE_INSTRS` / `IFENCE_SEED` environment variables, defaulting
+//! to 20 000 instructions per core on the 16-core paper machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ifence_sim::ExperimentParams;
+use ifence_workloads::{presets, WorkloadSpec};
+
+/// Experiment parameters for figure regeneration (paper machine, environment
+/// overridable).
+pub fn paper_params() -> ExperimentParams {
+    ExperimentParams::from_env()
+}
+
+/// The full workload suite of Figure 7, or a subset selected with the
+/// `IFENCE_WORKLOADS` environment variable (comma-separated names).
+pub fn workload_suite() -> Vec<WorkloadSpec> {
+    match std::env::var("IFENCE_WORKLOADS") {
+        Ok(names) => {
+            let selected: Vec<WorkloadSpec> =
+                names.split(',').filter_map(|n| presets::by_name(n.trim())).collect();
+            if selected.is_empty() {
+                presets::all_presets()
+            } else {
+                selected
+            }
+        }
+        Err(_) => presets::all_presets(),
+    }
+}
+
+/// Prints the standard header for a figure-regeneration bench target.
+pub fn print_header(figure: &str, description: &str) {
+    let params = paper_params();
+    println!("================================================================================");
+    println!("{figure}: {description}");
+    println!(
+        "machine: 16-core paper baseline; {} instructions/core, seed {} (override with IFENCE_INSTRS / IFENCE_SEED / IFENCE_WORKLOADS)",
+        params.instructions_per_core, params.seed
+    );
+    println!("================================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_defaults_to_all_presets() {
+        std::env::remove_var("IFENCE_WORKLOADS");
+        assert_eq!(workload_suite().len(), 7);
+    }
+
+    #[test]
+    fn suite_can_be_narrowed_by_env() {
+        std::env::set_var("IFENCE_WORKLOADS", "Barnes, Ocean");
+        let suite = workload_suite();
+        std::env::remove_var("IFENCE_WORKLOADS");
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite[0].name, "Barnes");
+    }
+
+    #[test]
+    fn params_come_from_environment() {
+        std::env::set_var("IFENCE_INSTRS", "777");
+        let p = paper_params();
+        std::env::remove_var("IFENCE_INSTRS");
+        assert_eq!(p.instructions_per_core, 777);
+    }
+}

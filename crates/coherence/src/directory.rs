@@ -1,0 +1,224 @@
+//! The coherence directory: per-block sharer/owner tracking.
+
+use ifence_types::{BlockAddr, CoreId};
+use std::collections::HashMap;
+
+/// Stable sharing state of one block as recorded at its home directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DirectoryState {
+    /// No cache holds the block.
+    #[default]
+    Uncached,
+    /// One or more caches hold the block read-only.
+    Shared(Vec<CoreId>),
+    /// Exactly one cache holds the block with write permission.
+    Owned(CoreId),
+}
+
+/// Directory entry: sharing state plus a busy flag while a transaction for the
+/// block is in flight (the directory serialises transactions per block).
+#[derive(Debug, Clone, Default)]
+pub struct DirectoryEntry {
+    /// Current sharing state.
+    pub state: DirectoryState,
+    /// True while a transaction for this block is being processed; further
+    /// requests are retried.
+    pub busy: bool,
+}
+
+/// The (logically distributed, physically flat) coherence directory.
+///
+/// Home-node assignment is address-interleaved: block number modulo the node
+/// count, matching the paper's directory-based 16-node machine.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirectoryEntry>,
+    nodes: usize,
+}
+
+impl Directory {
+    /// Creates an empty directory for a machine with `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Directory { entries: HashMap::new(), nodes: nodes.max(1) }
+    }
+
+    /// The home node of `block` (address-interleaved).
+    pub fn home(&self, block: BlockAddr) -> CoreId {
+        CoreId((block.number() as usize) % self.nodes)
+    }
+
+    /// Returns the entry for `block`, creating an Uncached entry on first use.
+    pub fn entry_mut(&mut self, block: BlockAddr) -> &mut DirectoryEntry {
+        self.entries.entry(block.number()).or_default()
+    }
+
+    /// Returns the entry for `block`, if it has ever been touched.
+    pub fn entry(&self, block: BlockAddr) -> Option<&DirectoryEntry> {
+        self.entries.get(&block.number())
+    }
+
+    /// Current sharing state of `block` (Uncached if never touched).
+    pub fn state(&self, block: BlockAddr) -> DirectoryState {
+        self.entries.get(&block.number()).map(|e| e.state.clone()).unwrap_or_default()
+    }
+
+    /// Returns true while a transaction for `block` is in flight.
+    pub fn is_busy(&self, block: BlockAddr) -> bool {
+        self.entries.get(&block.number()).map(|e| e.busy).unwrap_or(false)
+    }
+
+    /// Marks the block busy / not busy.
+    pub fn set_busy(&mut self, block: BlockAddr, busy: bool) {
+        self.entry_mut(block).busy = busy;
+    }
+
+    /// Records that `core` now holds the block read-only (added to sharers).
+    pub fn add_sharer(&mut self, block: BlockAddr, core: CoreId) {
+        let entry = self.entry_mut(block);
+        entry.state = match std::mem::take(&mut entry.state) {
+            DirectoryState::Uncached => DirectoryState::Shared(vec![core]),
+            DirectoryState::Shared(mut s) => {
+                if !s.contains(&core) {
+                    s.push(core);
+                }
+                DirectoryState::Shared(s)
+            }
+            DirectoryState::Owned(owner) => {
+                // An owner being added as a sharer means a downgrade happened.
+                let mut s = vec![owner];
+                if !s.contains(&core) {
+                    s.push(core);
+                }
+                DirectoryState::Shared(s)
+            }
+        };
+    }
+
+    /// Records that `core` now exclusively owns the block.
+    pub fn set_owner(&mut self, block: BlockAddr, core: CoreId) {
+        self.entry_mut(block).state = DirectoryState::Owned(core);
+    }
+
+    /// Records that no cache holds the block.
+    pub fn set_uncached(&mut self, block: BlockAddr) {
+        self.entry_mut(block).state = DirectoryState::Uncached;
+    }
+
+    /// Removes `core` from the sharer list / ownership (silent eviction or
+    /// writeback). Leaves other sharers intact.
+    pub fn remove_holder(&mut self, block: BlockAddr, core: CoreId) {
+        let entry = self.entry_mut(block);
+        entry.state = match std::mem::take(&mut entry.state) {
+            DirectoryState::Uncached => DirectoryState::Uncached,
+            DirectoryState::Owned(owner) if owner == core => DirectoryState::Uncached,
+            DirectoryState::Owned(owner) => DirectoryState::Owned(owner),
+            DirectoryState::Shared(mut s) => {
+                s.retain(|c| *c != core);
+                if s.is_empty() {
+                    DirectoryState::Uncached
+                } else {
+                    DirectoryState::Shared(s)
+                }
+            }
+        };
+    }
+
+    /// The caches (other than `except`) that must be invalidated to grant
+    /// `except` write permission.
+    pub fn holders_except(&self, block: BlockAddr, except: CoreId) -> Vec<CoreId> {
+        match self.state(block) {
+            DirectoryState::Uncached => Vec::new(),
+            DirectoryState::Owned(owner) => {
+                if owner == except {
+                    Vec::new()
+                } else {
+                    vec![owner]
+                }
+            }
+            DirectoryState::Shared(s) => s.into_iter().filter(|c| *c != except).collect(),
+        }
+    }
+
+    /// The current exclusive owner, if any.
+    pub fn owner(&self, block: BlockAddr) -> Option<CoreId> {
+        match self.state(block) {
+            DirectoryState::Owned(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Number of blocks the directory has ever tracked.
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifence_types::Addr;
+
+    fn blk(byte: u64) -> BlockAddr {
+        BlockAddr::containing(Addr::new(byte), 64)
+    }
+
+    #[test]
+    fn home_is_interleaved() {
+        let d = Directory::new(16);
+        assert_eq!(d.home(blk(0)), CoreId(0));
+        assert_eq!(d.home(blk(64)), CoreId(1));
+        assert_eq!(d.home(blk(64 * 17)), CoreId(1));
+    }
+
+    #[test]
+    fn sharer_tracking() {
+        let mut d = Directory::new(4);
+        let b = blk(0x100);
+        assert_eq!(d.state(b), DirectoryState::Uncached);
+        d.add_sharer(b, CoreId(1));
+        d.add_sharer(b, CoreId(2));
+        d.add_sharer(b, CoreId(2));
+        assert_eq!(d.state(b), DirectoryState::Shared(vec![CoreId(1), CoreId(2)]));
+        assert_eq!(d.holders_except(b, CoreId(2)), vec![CoreId(1)]);
+        d.remove_holder(b, CoreId(1));
+        d.remove_holder(b, CoreId(2));
+        assert_eq!(d.state(b), DirectoryState::Uncached);
+    }
+
+    #[test]
+    fn ownership_transitions() {
+        let mut d = Directory::new(4);
+        let b = blk(0x200);
+        d.set_owner(b, CoreId(3));
+        assert_eq!(d.owner(b), Some(CoreId(3)));
+        assert_eq!(d.holders_except(b, CoreId(3)), Vec::<CoreId>::new());
+        assert_eq!(d.holders_except(b, CoreId(0)), vec![CoreId(3)]);
+        // A downgrade adds the old owner and the new reader as sharers.
+        d.add_sharer(b, CoreId(0));
+        assert_eq!(d.state(b), DirectoryState::Shared(vec![CoreId(3), CoreId(0)]));
+        assert_eq!(d.owner(b), None);
+    }
+
+    #[test]
+    fn busy_flag() {
+        let mut d = Directory::new(4);
+        let b = blk(0x40);
+        assert!(!d.is_busy(b));
+        d.set_busy(b, true);
+        assert!(d.is_busy(b));
+        d.set_busy(b, false);
+        assert!(!d.is_busy(b));
+    }
+
+    #[test]
+    fn remove_nonholder_is_harmless() {
+        let mut d = Directory::new(4);
+        let b = blk(0x40);
+        d.set_owner(b, CoreId(1));
+        d.remove_holder(b, CoreId(2));
+        assert_eq!(d.owner(b), Some(CoreId(1)));
+        d.remove_holder(b, CoreId(1));
+        assert_eq!(d.state(b), DirectoryState::Uncached);
+        assert_eq!(d.tracked_blocks(), 1);
+    }
+}

@@ -1,0 +1,695 @@
+//! The coherence fabric: transaction engine tying together directory, L2,
+//! memory and torus latencies.
+
+use crate::directory::{Directory, DirectoryState};
+use crate::messages::{CoherenceReqKind, CoherenceRequest, Delivery, SnoopReply, TxnId};
+use ifence_mem::{BlockData, LineState};
+use ifence_types::{Addr, BlockAddr, CoreId, Cycle, InterconnectConfig, MachineConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Latency and topology parameters of the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Number of nodes (cores); must match the torus size.
+    pub nodes: usize,
+    /// Torus topology and per-hop latency.
+    pub interconnect: InterconnectConfig,
+    /// L2 hit latency in cycles.
+    pub l2_hit_latency: u64,
+    /// Memory access latency in cycles (paid on the first touch of a block).
+    pub memory_latency: u64,
+    /// Directory/protocol-controller occupancy per transaction.
+    pub directory_latency: u64,
+    /// Cache-block size in bytes.
+    pub block_bytes: usize,
+    /// Delay before a request to a busy block is retried.
+    pub retry_interval: u64,
+}
+
+impl FabricConfig {
+    /// Derives the fabric configuration from a full machine configuration.
+    pub fn from_machine(cfg: &MachineConfig) -> Self {
+        FabricConfig {
+            nodes: cfg.cores,
+            interconnect: cfg.interconnect,
+            l2_hit_latency: cfg.l2.hit_latency,
+            memory_latency: cfg.l2.memory_latency,
+            directory_latency: cfg.interconnect.directory_latency,
+            block_bytes: cfg.l1.block_bytes,
+            retry_interval: 30,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    DirAccess(u64),
+    Deliver(Delivery),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey {
+    time: Cycle,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnKind {
+    GetS,
+    GetM,
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    requester: CoreId,
+    block: BlockAddr,
+    kind: TxnKind,
+    pending_acks: usize,
+    data_ready_at: Cycle,
+    dirty_data: Option<BlockData>,
+    grant_exclusive: bool,
+    fill_scheduled: bool,
+}
+
+/// The directory-MESI coherence fabric (see the crate-level documentation).
+#[derive(Debug)]
+pub struct CoherenceFabric {
+    cfg: FabricConfig,
+    dir: Directory,
+    memory: HashMap<u64, BlockData>,
+    l2_resident: HashSet<u64>,
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    payloads: HashMap<u64, EventKind>,
+    next_seq: u64,
+    txns: HashMap<u64, Txn>,
+    next_txn: u64,
+    deferred_acks: u64,
+    total_transactions: u64,
+}
+
+impl CoherenceFabric {
+    /// Creates an empty fabric.
+    pub fn new(cfg: FabricConfig) -> Self {
+        let nodes = cfg.nodes;
+        CoherenceFabric {
+            cfg,
+            dir: Directory::new(nodes),
+            memory: HashMap::new(),
+            l2_resident: HashSet::new(),
+            heap: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            next_seq: 0,
+            txns: HashMap::new(),
+            next_txn: 0,
+            deferred_acks: 0,
+            total_transactions: 0,
+        }
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Number of transactions currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Total transactions ever issued (GetS + GetM).
+    pub fn total_transactions(&self) -> u64 {
+        self.total_transactions
+    }
+
+    /// Acknowledgements deferred by commit-on-violate so far.
+    pub fn deferred_acks(&self) -> u64 {
+        self.deferred_acks
+    }
+
+    /// Returns true if any event or transaction is still pending.
+    pub fn busy(&self) -> bool {
+        !self.txns.is_empty() || !self.heap.is_empty()
+    }
+
+    fn schedule(&mut self, time: Cycle, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(HeapKey { time, seq }));
+        self.payloads.insert(seq, kind);
+    }
+
+    fn latency(&self, from: CoreId, to: CoreId) -> u64 {
+        self.cfg.interconnect.latency(from.index(), to.index())
+    }
+
+    fn memory_block(&self, block: BlockAddr) -> BlockData {
+        self.memory.get(&block.number()).copied().unwrap_or_else(BlockData::zeroed)
+    }
+
+    /// Reads the backing-store value of the 8-byte word at `addr` (used by
+    /// litmus tests and diagnostics; reflects only committed writebacks).
+    pub fn read_memory_word(&self, addr: Addr) -> u64 {
+        let block = BlockAddr::containing(addr, self.cfg.block_bytes);
+        let word = addr.word_in_block(self.cfg.block_bytes).index();
+        self.memory_block(block).word(word)
+    }
+
+    /// Writes the backing-store value of the 8-byte word at `addr` (used to
+    /// initialise litmus-test memory).
+    pub fn write_memory_word(&mut self, addr: Addr, value: u64) {
+        let block = BlockAddr::containing(addr, self.cfg.block_bytes);
+        let word = addr.word_in_block(self.cfg.block_bytes).index();
+        let mut data = self.memory_block(block);
+        data.set_word(word, value);
+        self.memory.insert(block.number(), data);
+    }
+
+    /// Issues a request from a core at time `now`.
+    pub fn request(&mut self, req: CoherenceRequest, now: Cycle) {
+        match req.kind {
+            CoherenceReqKind::GetS | CoherenceReqKind::GetM => {
+                let id = self.next_txn;
+                self.next_txn += 1;
+                self.total_transactions += 1;
+                let kind = if matches!(req.kind, CoherenceReqKind::GetS) {
+                    TxnKind::GetS
+                } else {
+                    TxnKind::GetM
+                };
+                self.txns.insert(
+                    id,
+                    Txn {
+                        requester: req.core,
+                        block: req.block,
+                        kind,
+                        pending_acks: 0,
+                        data_ready_at: now,
+                        dirty_data: None,
+                        grant_exclusive: false,
+                        fill_scheduled: false,
+                    },
+                );
+                let home = self.dir.home(req.block);
+                let arrive = now + self.latency(req.core, home) + self.cfg.directory_latency;
+                self.schedule(arrive, EventKind::DirAccess(id));
+            }
+            CoherenceReqKind::WritebackDirty(data) => {
+                // Applied immediately: the timing error is a few tens of
+                // cycles and the value is what matters for correctness.
+                self.memory.insert(req.block.number(), data);
+                self.l2_resident.insert(req.block.number());
+                self.dir.remove_holder(req.block, req.core);
+            }
+            CoherenceReqKind::WritebackClean => {
+                self.l2_resident.insert(req.block.number());
+                self.dir.remove_holder(req.block, req.core);
+            }
+        }
+    }
+
+    fn data_latency(&mut self, block: BlockAddr) -> u64 {
+        if self.l2_resident.insert(block.number()) {
+            self.cfg.memory_latency
+        } else {
+            self.cfg.l2_hit_latency
+        }
+    }
+
+    fn process_dir_access(&mut self, id: u64, now: Cycle) {
+        let (block, requester, kind) = match self.txns.get(&id) {
+            Some(t) => (t.block, t.requester, t.kind),
+            None => return,
+        };
+        if self.dir.is_busy(block) {
+            self.schedule(now + self.cfg.retry_interval, EventKind::DirAccess(id));
+            return;
+        }
+        self.dir.set_busy(block, true);
+        let home = self.dir.home(block);
+        let data_lat = self.data_latency(block);
+
+        match kind {
+            TxnKind::GetS => {
+                let owner = self.dir.owner(block).filter(|o| *o != requester);
+                match owner {
+                    Some(o) => {
+                        let deliver_at = now + self.latency(home, o);
+                        self.schedule(
+                            deliver_at,
+                            EventKind::Deliver(Delivery::Downgrade {
+                                core: o,
+                                block,
+                                txn: TxnId(id),
+                                requester,
+                            }),
+                        );
+                        if let Some(t) = self.txns.get_mut(&id) {
+                            t.pending_acks = 1;
+                            t.data_ready_at = now + data_lat;
+                        }
+                    }
+                    None => {
+                        let grant_exclusive =
+                            matches!(self.dir.state(block), DirectoryState::Uncached);
+                        if let Some(t) = self.txns.get_mut(&id) {
+                            t.grant_exclusive = grant_exclusive;
+                            t.data_ready_at = now + data_lat;
+                        }
+                        self.schedule_fill(id, now);
+                    }
+                }
+            }
+            TxnKind::GetM => {
+                let holders = self.dir.holders_except(block, requester);
+                let already_shared = match self.dir.state(block) {
+                    DirectoryState::Shared(s) => s.contains(&requester),
+                    DirectoryState::Owned(o) => o == requester,
+                    DirectoryState::Uncached => false,
+                };
+                for h in &holders {
+                    let deliver_at = now + self.latency(home, *h);
+                    self.schedule(
+                        deliver_at,
+                        EventKind::Deliver(Delivery::Invalidate {
+                            core: *h,
+                            block,
+                            txn: TxnId(id),
+                            requester,
+                        }),
+                    );
+                }
+                if let Some(t) = self.txns.get_mut(&id) {
+                    t.pending_acks = holders.len();
+                    // An upgrade needs no data; otherwise fetch from L2/memory
+                    // in parallel with the invalidations.
+                    t.data_ready_at = if already_shared { now } else { now + data_lat };
+                    t.grant_exclusive = true;
+                }
+                if holders.is_empty() {
+                    self.schedule_fill(id, now);
+                }
+            }
+        }
+    }
+
+    fn schedule_fill(&mut self, id: u64, now: Cycle) {
+        let home;
+        let (requester, block, kind, data_ready, dirty, grant_exclusive) = {
+            let t = match self.txns.get_mut(&id) {
+                Some(t) => t,
+                None => return,
+            };
+            if t.fill_scheduled {
+                return;
+            }
+            t.fill_scheduled = true;
+            (t.requester, t.block, t.kind, t.data_ready_at, t.dirty_data, t.grant_exclusive)
+        };
+        home = self.dir.home(block);
+        let data = match dirty {
+            Some(d) => {
+                // The dirty copy is the authoritative value; keep memory in sync.
+                self.memory.insert(block.number(), d);
+                d
+            }
+            None => self.memory_block(block),
+        };
+        let state = match kind {
+            TxnKind::GetM => LineState::Exclusive,
+            TxnKind::GetS => {
+                if grant_exclusive {
+                    LineState::Exclusive
+                } else {
+                    LineState::Shared
+                }
+            }
+        };
+        let fill_at = data_ready.max(now) + self.latency(home, requester);
+        self.schedule(
+            fill_at,
+            EventKind::Deliver(Delivery::Fill { core: requester, block, state, data, txn: TxnId(id) }),
+        );
+    }
+
+    fn finalize_fill(&mut self, id: u64) {
+        let t = match self.txns.remove(&id) {
+            Some(t) => t,
+            None => return,
+        };
+        match t.kind {
+            TxnKind::GetM => self.dir.set_owner(t.block, t.requester),
+            TxnKind::GetS => {
+                if t.grant_exclusive {
+                    self.dir.set_owner(t.block, t.requester);
+                } else {
+                    self.dir.add_sharer(t.block, t.requester);
+                }
+            }
+        }
+        self.dir.set_busy(t.block, false);
+    }
+
+    /// A core's reply to an invalidation or downgrade delivery.
+    pub fn respond(&mut self, reply: SnoopReply, now: Cycle) {
+        match reply {
+            SnoopReply::Defer { .. } => {
+                self.deferred_acks += 1;
+            }
+            SnoopReply::Ack { core, txn, dirty_data } => {
+                let id = txn.0;
+                let (block, home) = match self.txns.get(&id) {
+                    Some(t) => (t.block, self.dir.home(t.block)),
+                    None => return,
+                };
+                if let Some(d) = dirty_data {
+                    self.memory.insert(block.number(), d);
+                }
+                let ack_arrives = now + self.latency(core, home);
+                let ready = {
+                    let t = self.txns.get_mut(&id).expect("transaction exists");
+                    if let Some(d) = dirty_data {
+                        t.dirty_data = Some(d);
+                    }
+                    t.pending_acks = t.pending_acks.saturating_sub(1);
+                    t.pending_acks == 0
+                };
+                if ready {
+                    self.schedule_fill(id, ack_arrives);
+                }
+            }
+        }
+    }
+
+    /// Advances the fabric to cycle `now`, returning every delivery that is
+    /// due. The caller must route each delivery to its destination core and,
+    /// for external requests, feed the core's [`SnoopReply`] back via
+    /// [`CoherenceFabric::respond`].
+    pub fn step(&mut self, now: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(Reverse(key)) = self.heap.peek().copied() {
+            if key.time > now {
+                break;
+            }
+            self.heap.pop();
+            let kind = match self.payloads.remove(&key.seq) {
+                Some(k) => k,
+                None => continue,
+            };
+            match kind {
+                EventKind::DirAccess(id) => self.process_dir_access(id, key.time.max(now)),
+                EventKind::Deliver(d) => {
+                    if let Delivery::Fill { txn, .. } = d {
+                        self.finalize_fill(txn.0);
+                    }
+                    out.push(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the fabric forward until no events remain, collecting every
+    /// delivery (test helper; real callers step cycle-by-cycle).
+    pub fn drain_until_idle(&mut self, mut now: Cycle, limit: Cycle) -> Vec<(Cycle, Delivery)> {
+        let mut out = Vec::new();
+        while self.busy() && now < limit {
+            for d in self.step(now) {
+                out.push((now, d));
+            }
+            now += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> FabricConfig {
+        FabricConfig {
+            nodes: 4,
+            interconnect: InterconnectConfig {
+                mesh_width: 2,
+                mesh_height: 2,
+                hop_latency: 10,
+                directory_latency: 2,
+            },
+            l2_hit_latency: 5,
+            memory_latency: 20,
+            directory_latency: 2,
+            block_bytes: 64,
+            retry_interval: 8,
+        }
+    }
+
+    fn blk(byte: u64) -> BlockAddr {
+        BlockAddr::containing(Addr::new(byte), 64)
+    }
+
+    fn gets(core: usize, block: BlockAddr) -> CoherenceRequest {
+        CoherenceRequest { core: CoreId(core), block, kind: CoherenceReqKind::GetS }
+    }
+
+    fn getm(core: usize, block: BlockAddr) -> CoherenceRequest {
+        CoherenceRequest { core: CoreId(core), block, kind: CoherenceReqKind::GetM }
+    }
+
+    /// Drive the fabric, automatically acking external requests with the
+    /// given dirty data, and return all fills.
+    fn run_collect_fills(
+        fabric: &mut CoherenceFabric,
+        dirty: Option<BlockData>,
+        limit: Cycle,
+    ) -> Vec<(Cycle, Delivery)> {
+        let mut fills = Vec::new();
+        for now in 0..limit {
+            for d in fabric.step(now) {
+                match d {
+                    Delivery::Fill { .. } => fills.push((now, d)),
+                    Delivery::Invalidate { core, txn, .. } | Delivery::Downgrade { core, txn, .. } => {
+                        fabric.respond(SnoopReply::Ack { core, txn, dirty_data: dirty }, now);
+                    }
+                }
+            }
+        }
+        fills
+    }
+
+    #[test]
+    fn cold_gets_grants_exclusive() {
+        let mut fabric = CoherenceFabric::new(config());
+        fabric.request(gets(0, blk(0x0)), 0);
+        let fills = run_collect_fills(&mut fabric, None, 1000);
+        assert_eq!(fills.len(), 1);
+        match fills[0].1 {
+            Delivery::Fill { core, state, .. } => {
+                assert_eq!(core, CoreId(0));
+                assert_eq!(state, LineState::Exclusive, "uncached GetS grants E");
+            }
+            _ => unreachable!(),
+        }
+        assert!(!fabric.busy());
+        assert_eq!(fabric.dir.owner(blk(0x0)), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn second_reader_gets_shared_after_downgrade() {
+        let mut fabric = CoherenceFabric::new(config());
+        // Core 1 acquires the block exclusively, then core 2 reads it.
+        fabric.request(getm(1, blk(0x40)), 0);
+        let _ = run_collect_fills(&mut fabric, None, 1000);
+        assert_eq!(fabric.dir.owner(blk(0x40)), Some(CoreId(1)));
+
+        fabric.request(gets(2, blk(0x40)), 1000);
+        let mut downgrades = 0;
+        let mut fills = Vec::new();
+        let dirty = BlockData::from_words([0xAB; 8]);
+        for now in 1000..3000 {
+            for d in fabric.step(now) {
+                match d {
+                    Delivery::Downgrade { core, txn, requester, .. } => {
+                        assert_eq!(core, CoreId(1));
+                        assert_eq!(requester, CoreId(2));
+                        downgrades += 1;
+                        fabric.respond(
+                            SnoopReply::Ack { core, txn, dirty_data: Some(dirty) },
+                            now,
+                        );
+                    }
+                    Delivery::Fill { core, state, data, .. } => fills.push((core, state, data)),
+                    Delivery::Invalidate { .. } => panic!("GetS must not invalidate"),
+                }
+            }
+        }
+        assert_eq!(downgrades, 1);
+        assert_eq!(fills.len(), 1);
+        let (core, state, data) = fills[0];
+        assert_eq!(core, CoreId(2));
+        assert_eq!(state, LineState::Shared);
+        assert_eq!(data.word(0), 0xAB, "fill carries the owner's dirty data");
+        assert_eq!(
+            fabric.dir.state(blk(0x40)),
+            DirectoryState::Shared(vec![CoreId(1), CoreId(2)])
+        );
+    }
+
+    #[test]
+    fn getm_invalidates_all_sharers() {
+        let mut fabric = CoherenceFabric::new(config());
+        // Cores 0 and 1 read the block; core 2 then writes it.
+        fabric.request(gets(0, blk(0x80)), 0);
+        let _ = run_collect_fills(&mut fabric, None, 600);
+        fabric.request(gets(1, blk(0x80)), 600);
+        let _ = run_collect_fills(&mut fabric, None, 1200);
+
+        fabric.request(getm(2, blk(0x80)), 1200);
+        let mut invalidated_cores = Vec::new();
+        let mut fill = None;
+        for now in 1200..4000 {
+            for d in fabric.step(now) {
+                match d {
+                    Delivery::Invalidate { core, txn, .. } => {
+                        invalidated_cores.push(core);
+                        fabric.respond(SnoopReply::Ack { core, txn, dirty_data: None }, now);
+                    }
+                    Delivery::Fill { core, state, .. } => fill = Some((core, state, now)),
+                    Delivery::Downgrade { .. } => panic!("GetM must invalidate, not downgrade"),
+                }
+            }
+        }
+        invalidated_cores.sort();
+        assert_eq!(invalidated_cores, vec![CoreId(0), CoreId(1)]);
+        let (core, state, _) = fill.expect("writer receives a fill");
+        assert_eq!(core, CoreId(2));
+        assert_eq!(state, LineState::Exclusive);
+        assert_eq!(fabric.dir.owner(blk(0x80)), Some(CoreId(2)));
+    }
+
+    #[test]
+    fn fill_waits_for_deferred_ack() {
+        let mut fabric = CoherenceFabric::new(config());
+        fabric.request(getm(0, blk(0xc0)), 0);
+        let _ = run_collect_fills(&mut fabric, None, 600);
+
+        // Core 1 wants to write; core 0 defers (commit-on-violate) and only
+        // acks 500 cycles later.
+        fabric.request(getm(1, blk(0xc0)), 600);
+        let mut deferred_txn = None;
+        let mut fill_time = None;
+        for now in 600..5000 {
+            for d in fabric.step(now) {
+                match d {
+                    Delivery::Invalidate { core, txn, .. } => {
+                        assert_eq!(core, CoreId(0));
+                        fabric.respond(SnoopReply::Defer { core, txn }, now);
+                        deferred_txn = Some((core, txn, now));
+                    }
+                    Delivery::Fill { core, .. } => {
+                        assert_eq!(core, CoreId(1));
+                        fill_time = Some(now);
+                    }
+                    _ => {}
+                }
+            }
+            if let Some((core, txn, when)) = deferred_txn {
+                if now == when + 500 {
+                    fabric.respond(SnoopReply::Ack { core, txn, dirty_data: None }, now);
+                }
+            }
+        }
+        let (_, _, deferred_at) = deferred_txn.expect("an invalidation was deferred");
+        let filled_at = fill_time.expect("the fill eventually arrives");
+        assert!(
+            filled_at >= deferred_at + 500,
+            "fill at {filled_at} must wait for the deferred ack at {}",
+            deferred_at + 500
+        );
+        assert_eq!(fabric.deferred_acks(), 1);
+    }
+
+    #[test]
+    fn busy_block_requests_are_serialised() {
+        let mut fabric = CoherenceFabric::new(config());
+        // Two cores race to write the same block.
+        fabric.request(getm(0, blk(0x100)), 0);
+        fabric.request(getm(1, blk(0x100)), 0);
+        let fills = run_collect_fills(&mut fabric, None, 5000);
+        assert_eq!(fills.len(), 2, "both writers eventually complete");
+        assert!(!fabric.busy());
+        // The final owner is whichever transaction completed second.
+        assert!(fabric.dir.owner(blk(0x100)).is_some());
+        assert_eq!(fabric.total_transactions(), 2);
+    }
+
+    #[test]
+    fn writeback_updates_memory_value() {
+        let mut fabric = CoherenceFabric::new(config());
+        fabric.request(getm(3, blk(0x140)), 0);
+        let _ = run_collect_fills(&mut fabric, None, 600);
+        let mut data = BlockData::zeroed();
+        data.set_word(1, 77);
+        fabric.request(
+            CoherenceRequest {
+                core: CoreId(3),
+                block: blk(0x140),
+                kind: CoherenceReqKind::WritebackDirty(data),
+            },
+            700,
+        );
+        assert_eq!(fabric.read_memory_word(Addr::new(0x148)), 77);
+        assert_eq!(fabric.dir.state(blk(0x140)), DirectoryState::Uncached);
+
+        // A later reader sees the written-back value.
+        fabric.request(gets(0, blk(0x140)), 800);
+        let fills = run_collect_fills(&mut fabric, None, 2000);
+        match fills.last().unwrap().1 {
+            Delivery::Fill { data, .. } => assert_eq!(data.word(1), 77),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn memory_word_init_roundtrip() {
+        let mut fabric = CoherenceFabric::new(config());
+        fabric.write_memory_word(Addr::new(0x208), 1234);
+        assert_eq!(fabric.read_memory_word(Addr::new(0x208)), 1234);
+        assert_eq!(fabric.read_memory_word(Addr::new(0x200)), 0);
+    }
+
+    #[test]
+    fn local_requests_are_faster_than_remote() {
+        // Home of block 0 is node 0; a request from node 0 avoids torus hops.
+        let mut fabric_local = CoherenceFabric::new(config());
+        fabric_local.request(gets(0, blk(0x0)), 0);
+        let local = run_collect_fills(&mut fabric_local, None, 2000);
+
+        let mut fabric_remote = CoherenceFabric::new(config());
+        fabric_remote.request(gets(3, blk(0x0)), 0);
+        let remote = run_collect_fills(&mut fabric_remote, None, 2000);
+
+        assert!(local[0].0 < remote[0].0, "local {} < remote {}", local[0].0, remote[0].0);
+    }
+
+    #[test]
+    fn second_touch_hits_in_l2() {
+        let mut fabric = CoherenceFabric::new(config());
+        fabric.request(gets(0, blk(0x0)), 0);
+        let first = run_collect_fills(&mut fabric, None, 2000);
+        // Drop the block and fetch it again from the same node: the second
+        // fetch skips the memory latency.
+        fabric.request(
+            CoherenceRequest { core: CoreId(0), block: blk(0x0), kind: CoherenceReqKind::WritebackClean },
+            2000,
+        );
+        fabric.request(gets(0, blk(0x0)), 2000);
+        let second = run_collect_fills(&mut fabric, None, 4000);
+        let first_latency = first[0].0;
+        let second_latency = second[0].0 - 2000;
+        assert!(
+            second_latency < first_latency,
+            "L2 hit ({second_latency}) should beat cold miss ({first_latency})"
+        );
+    }
+}

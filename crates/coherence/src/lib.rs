@@ -1,0 +1,49 @@
+//! Directory-based MESI cache-coherence fabric.
+//!
+//! This crate models everything *beyond* the per-core L1 caches of the
+//! paper's machine: the address-interleaved directory and L2 slices, main
+//! memory, and the 4×4 torus interconnect that connects them. The fabric is
+//! transaction-serialised: each GetS/GetM is processed at its home directory,
+//! which sends invalidations or downgrades to remote L1s (these are exactly
+//! the external requests InvisiFence snoops to detect ordering violations),
+//! collects their acknowledgements — which a core running the
+//! commit-on-violate policy may *defer* — and finally delivers the data fill
+//! to the requester with torus-latency timing.
+//!
+//! The fabric communicates with cores purely through value messages
+//! ([`Delivery`] out, [`SnoopReply`] / [`CoherenceRequest`] in), so the
+//! machine model can own both sides without borrow contortions.
+//!
+//! # Example
+//!
+//! ```
+//! use ifence_coherence::{CoherenceFabric, CoherenceRequest, CoherenceReqKind, Delivery, FabricConfig};
+//! use ifence_types::{Addr, BlockAddr, CoreId, MachineConfig};
+//!
+//! let cfg = FabricConfig::from_machine(&MachineConfig::paper_baseline());
+//! let mut fabric = CoherenceFabric::new(cfg);
+//! let block = BlockAddr::containing(Addr::new(0x4000), 64);
+//! fabric.request(CoherenceRequest { core: CoreId(0), block, kind: CoherenceReqKind::GetS }, 0);
+//! // Advance time until the fill comes back.
+//! let mut fills = 0;
+//! for cycle in 0..10_000 {
+//!     for d in fabric.step(cycle) {
+//!         if let Delivery::Fill { core, .. } = d {
+//!             assert_eq!(core, CoreId(0));
+//!             fills += 1;
+//!         }
+//!     }
+//! }
+//! assert_eq!(fills, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod fabric;
+pub mod messages;
+
+pub use directory::{Directory, DirectoryEntry, DirectoryState};
+pub use fabric::{CoherenceFabric, FabricConfig};
+pub use messages::{CoherenceReqKind, CoherenceRequest, Delivery, SnoopReply, TxnId};

@@ -1,0 +1,93 @@
+//! Reference data for Figure 2: consistency-model definitions and their
+//! conventional implementations.
+
+use ifence_types::ConsistencyModel;
+
+/// One row of Figure 2 ("Memory consistency models: definitions and
+/// conventional implementations").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Figure2Row {
+    /// The model.
+    pub model: ConsistencyModel,
+    /// Orderings the model relaxes.
+    pub relaxations: &'static str,
+    /// Store-buffer organization of the conventional implementation.
+    pub sb_organization: &'static str,
+    /// Store-buffer entry granularity.
+    pub sb_granularity: &'static str,
+    /// Requirement for retiring a load.
+    pub load_retirement: &'static str,
+    /// Requirement for retiring a store.
+    pub store_retirement: &'static str,
+    /// Requirement for retiring an atomic operation.
+    pub atomic_retirement: &'static str,
+    /// Requirement for retiring a full memory fence.
+    pub fence_retirement: &'static str,
+}
+
+/// Returns the three rows of Figure 2, strongest model first.
+pub fn figure2_rows() -> Vec<Figure2Row> {
+    vec![
+        Figure2Row {
+            model: ConsistencyModel::Sc,
+            relaxations: "None",
+            sb_organization: "FIFO",
+            sb_granularity: "Word (8 bytes)",
+            load_retirement: "Drain SB",
+            store_retirement: "-",
+            atomic_retirement: "Drain SB",
+            fence_retirement: "N/A",
+        },
+        Figure2Row {
+            model: ConsistencyModel::Tso,
+            relaxations: "Store-to-load",
+            sb_organization: "FIFO",
+            sb_granularity: "Word (8 bytes)",
+            load_retirement: "-",
+            store_retirement: "-",
+            atomic_retirement: "Drain SB",
+            fence_retirement: "Drain SB",
+        },
+        Figure2Row {
+            model: ConsistencyModel::Rmo,
+            relaxations: "All",
+            sb_organization: "Unordered",
+            sb_granularity: "Block (64 bytes)",
+            load_retirement: "-",
+            store_retirement: "-",
+            atomic_retirement: "Complete store",
+            fence_retirement: "Drain SB",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_rows_strongest_first() {
+        let rows = figure2_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].model, ConsistencyModel::Sc);
+        assert_eq!(rows[2].model, ConsistencyModel::Rmo);
+    }
+
+    #[test]
+    fn rows_agree_with_model_metadata() {
+        for row in figure2_rows() {
+            assert_eq!(row.relaxations, row.model.relaxations());
+        }
+    }
+
+    #[test]
+    fn only_sc_constrains_load_retirement() {
+        for row in figure2_rows() {
+            if row.model == ConsistencyModel::Sc {
+                assert_eq!(row.load_retirement, "Drain SB");
+            } else {
+                assert_eq!(row.load_retirement, "-");
+            }
+        }
+    }
+}

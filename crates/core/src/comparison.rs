@@ -1,0 +1,176 @@
+//! Reference data for Figure 4 (properties of InvisiFence variants) and
+//! Figure 5 (comparison with BulkSC and ASO).
+
+/// One row of Figure 4: properties of the InvisiFence variants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure4Row {
+    /// Variant name (paper label).
+    pub variant: &'static str,
+    /// What the variant speculates on.
+    pub speculates_on: &'static str,
+    /// Typical fraction of time spent speculating (measured by Figure 10; the
+    /// values here are the ranges the paper quotes).
+    pub time_speculating: &'static str,
+    /// Minimum chunk size before a commit is allowed.
+    pub min_chunk_size: &'static str,
+    /// Whether the variant still needs load-queue snooping for in-window
+    /// ordering.
+    pub snoops_load_queue: bool,
+}
+
+/// Returns the four rows of Figure 4.
+pub fn figure4_rows() -> Vec<Figure4Row> {
+    vec![
+        Figure4Row {
+            variant: "INVISIFENCE-SELECTIVE rmo",
+            speculates_on: "Fences, atomics",
+            time_speculating: "0-10%",
+            min_chunk_size: "None",
+            snoops_load_queue: true,
+        },
+        Figure4Row {
+            variant: "INVISIFENCE-SELECTIVE tso",
+            speculates_on: "Store/atomic reorderings, fences",
+            time_speculating: "10-40%",
+            min_chunk_size: "None",
+            snoops_load_queue: true,
+        },
+        Figure4Row {
+            variant: "INVISIFENCE-SELECTIVE sc",
+            speculates_on: "All memory reorderings",
+            time_speculating: "10-50%",
+            min_chunk_size: "None",
+            snoops_load_queue: true,
+        },
+        Figure4Row {
+            variant: "INVISIFENCE-CONTINUOUS",
+            speculates_on: "Continuous chunks",
+            time_speculating: "Near 100%",
+            min_chunk_size: "~100 instructions",
+            snoops_load_queue: false,
+        },
+    ]
+}
+
+/// One dimension of Figure 5's comparison between BulkSC, InvisiFence
+/// (continuous and selective) and ASO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure5Row {
+    /// The dimension being compared.
+    pub dimension: &'static str,
+    /// BulkSC's design choice.
+    pub bulksc: &'static str,
+    /// InvisiFence-Continuous's design choice.
+    pub invisifence_continuous: &'static str,
+    /// InvisiFence-Selective's design choice.
+    pub invisifence_selective: &'static str,
+    /// ASO's design choice.
+    pub aso: &'static str,
+}
+
+/// Returns the rows of Figure 5.
+pub fn figure5_rows() -> Vec<Figure5Row> {
+    vec![
+        Figure5Row {
+            dimension: "Speculative execution",
+            bulksc: "Continuous",
+            invisifence_continuous: "Continuous",
+            invisifence_selective: "Selective",
+            aso: "Selective",
+        },
+        Figure5Row {
+            dimension: "Violation detection",
+            bulksc: "Lazy",
+            invisifence_continuous: "Eager",
+            invisifence_selective: "Eager",
+            aso: "Eager",
+        },
+        Figure5Row {
+            dimension: "Preserving memory state",
+            bulksc: "Write back dirty blocks",
+            invisifence_continuous: "Write back dirty blocks",
+            invisifence_selective: "Write back dirty blocks",
+            aso: "Stores write-thru to L2",
+        },
+        Figure5Row {
+            dimension: "Commit mechanism",
+            bulksc: "Global arbitration",
+            invisifence_continuous: "Flash-clear read/written bits",
+            invisifence_selective: "Flash-clear read/written bits",
+            aso: "Drain stores from SSB to L2",
+        },
+        Figure5Row {
+            dimension: "Commit latency",
+            bulksc: "Grows with # of processors",
+            invisifence_continuous: "Constant-time",
+            invisifence_selective: "Constant-time",
+            aso: "Grows with chunk size",
+        },
+        Figure5Row {
+            dimension: "Requires multiple checkpoints?",
+            bulksc: "Yes",
+            invisifence_continuous: "Yes",
+            invisifence_selective: "No",
+            aso: "Yes",
+        },
+        Figure5Row {
+            dimension: "Forwarding from unfilled blocks",
+            bulksc: "Coalescing store buffer",
+            invisifence_continuous: "Coalescing store buffer",
+            invisifence_selective: "Coalescing store buffer",
+            aso: "L1 cache",
+        },
+        Figure5Row {
+            dimension: "Impact on memory system",
+            bulksc: "Global transfer of signatures",
+            invisifence_continuous: "Read/written bits in L1 cache",
+            invisifence_selective: "Read/written bits in L1 cache",
+            aso: "Read/written, sub-block bits",
+        },
+        Figure5Row {
+            dimension: "Avoids load queue snooping?",
+            bulksc: "Yes",
+            invisifence_continuous: "Yes",
+            invisifence_selective: "No",
+            aso: "No",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_has_four_variants() {
+        let rows = figure4_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().filter(|r| r.snoops_load_queue).count() == 3);
+        assert_eq!(rows[3].variant, "INVISIFENCE-CONTINUOUS");
+    }
+
+    #[test]
+    fn figure5_commit_latency_row_matches_paper() {
+        let rows = figure5_rows();
+        let commit = rows.iter().find(|r| r.dimension == "Commit latency").unwrap();
+        assert_eq!(commit.invisifence_selective, "Constant-time");
+        assert_eq!(commit.bulksc, "Grows with # of processors");
+        assert_eq!(commit.aso, "Grows with chunk size");
+    }
+
+    #[test]
+    fn figure5_covers_all_nine_dimensions() {
+        assert_eq!(figure5_rows().len(), 9);
+        let dims: std::collections::HashSet<_> =
+            figure5_rows().iter().map(|r| r.dimension).collect();
+        assert_eq!(dims.len(), 9, "dimensions are unique");
+    }
+
+    #[test]
+    fn only_selective_uses_a_single_checkpoint() {
+        let rows = figure5_rows();
+        let ckpt = rows.iter().find(|r| r.dimension == "Requires multiple checkpoints?").unwrap();
+        assert_eq!(ckpt.invisifence_selective, "No");
+        assert_eq!(ckpt.invisifence_continuous, "Yes");
+    }
+}

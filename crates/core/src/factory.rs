@@ -1,0 +1,80 @@
+//! Construction of ordering engines from an [`EngineKind`].
+
+use crate::aso::AsoEngine;
+use crate::continuous::InvisiContinuousEngine;
+use crate::selective::InvisiSelectiveEngine;
+use ifence_consistency::ConventionalEngine;
+use ifence_cpu::OrderingEngine;
+use ifence_types::{EngineKind, MachineConfig};
+
+/// Builds the ordering engine named by `kind`, configured from `cfg`.
+///
+/// This is the single entry point the machine model uses to instantiate any
+/// of the configurations evaluated in the paper: conventional SC/TSO/RMO,
+/// InvisiFence-Selective (one or two checkpoints), InvisiFence-Continuous
+/// (with or without commit-on-violate), and the ASO baseline.
+///
+/// # Example
+/// ```
+/// use invisifence::build_engine;
+/// use ifence_types::{ConsistencyModel, EngineKind, MachineConfig};
+///
+/// let cfg = MachineConfig::with_engine(EngineKind::Conventional(ConsistencyModel::Tso));
+/// assert_eq!(build_engine(cfg.engine, &cfg).name(), "tso");
+/// ```
+pub fn build_engine(kind: EngineKind, cfg: &MachineConfig) -> Box<dyn OrderingEngine> {
+    match kind {
+        EngineKind::Conventional(model) => Box::new(ConventionalEngine::new(model)),
+        EngineKind::InvisiSelective(model) => Box::new(InvisiSelectiveEngine::new(model, cfg)),
+        EngineKind::InvisiSelectiveTwoCkpt(model) => {
+            let mut cfg2 = cfg.clone();
+            cfg2.speculation.checkpoints = 2;
+            Box::new(InvisiSelectiveEngine::new(model, &cfg2))
+        }
+        EngineKind::InvisiContinuous { commit_on_violate } => {
+            let mut cfg2 = cfg.clone();
+            cfg2.speculation.checkpoints = cfg2.speculation.checkpoints.max(2);
+            cfg2.speculation.commit_on_violate = commit_on_violate;
+            Box::new(InvisiContinuousEngine::new(&cfg2))
+        }
+        EngineKind::Aso(model) => Box::new(AsoEngine::new(model, cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifence_types::ConsistencyModel::*;
+
+    #[test]
+    fn every_engine_kind_builds_with_matching_label() {
+        let kinds = [
+            EngineKind::Conventional(Sc),
+            EngineKind::Conventional(Tso),
+            EngineKind::Conventional(Rmo),
+            EngineKind::InvisiSelective(Sc),
+            EngineKind::InvisiSelective(Tso),
+            EngineKind::InvisiSelective(Rmo),
+            EngineKind::InvisiSelectiveTwoCkpt(Sc),
+            EngineKind::InvisiContinuous { commit_on_violate: false },
+            EngineKind::InvisiContinuous { commit_on_violate: true },
+            EngineKind::Aso(Sc),
+        ];
+        for kind in kinds {
+            let cfg = MachineConfig::with_engine(kind);
+            let engine = build_engine(kind, &cfg);
+            assert_eq!(engine.name(), kind.label(), "label mismatch for {kind:?}");
+        }
+    }
+
+    #[test]
+    fn continuous_engine_builds_even_from_single_checkpoint_config() {
+        // A config whose speculation block was not adjusted still yields a
+        // working continuous engine (it needs two checkpoints internally).
+        let mut cfg = MachineConfig::with_engine(EngineKind::Conventional(Rmo));
+        cfg.speculation.checkpoints = 1;
+        let engine =
+            build_engine(EngineKind::InvisiContinuous { commit_on_violate: false }, &cfg);
+        assert_eq!(engine.name(), "Invisi_cont");
+    }
+}

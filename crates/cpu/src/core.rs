@@ -1,0 +1,856 @@
+//! The trace-driven out-of-order core model.
+
+use crate::engine::{
+    DeferResolution, EngineAction, ExternalKind, ExternalOutcome, OrderingEngine, RetireCtx,
+    RetireOutcome,
+};
+use crate::mem_side::CoreMem;
+use crate::rob::Rob;
+use ifence_coherence::{CoherenceRequest, Delivery, SnoopReply, TxnId};
+use ifence_stats::CoreStats;
+use ifence_types::{
+    BlockAddr, CoreConfig, CoreId, Cycle, CycleClass, InstrKind, MachineConfig, Program,
+    StallReason,
+};
+
+#[derive(Debug, Clone, Copy)]
+struct DeferredSnoop {
+    txn: TxnId,
+    block: BlockAddr,
+    kind: ExternalKind,
+    deadline: Cycle,
+}
+
+/// Summary of what one core did in one cycle (mainly for tests/diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreOutput {
+    /// Instructions retired this cycle.
+    pub retired: usize,
+    /// The cycle's breakdown class.
+    pub class: Option<CycleClass>,
+}
+
+/// One simulated processor core: pipeline, memory side, and ordering engine.
+///
+/// The core is driven externally: the machine model calls
+/// [`Core::handle_delivery`] for every coherence message addressed to it,
+/// [`Core::step`] once per cycle, and collects outgoing requests and snoop
+/// replies with [`Core::take_requests`] / [`Core::take_replies`].
+pub struct Core {
+    id: CoreId,
+    cfg: CoreConfig,
+    l1_hit_latency: u64,
+    program: Program,
+    next_fetch: usize,
+    retired: usize,
+    next_dispatch_id: u64,
+    rob: Rob,
+    /// The core's memory side (public so tests and engines can inspect it).
+    pub mem: CoreMem,
+    engine: Box<dyn OrderingEngine>,
+    stats: CoreStats,
+    deferred: Vec<DeferredSnoop>,
+    pending_replies: Vec<SnoopReply>,
+    load_results: Vec<(usize, u64)>,
+}
+
+impl Core {
+    /// Creates a core executing `program` under the given machine
+    /// configuration and ordering engine.
+    pub fn new(
+        id: CoreId,
+        program: Program,
+        cfg: &MachineConfig,
+        engine: Box<dyn OrderingEngine>,
+    ) -> Self {
+        Core {
+            id,
+            cfg: cfg.core,
+            l1_hit_latency: cfg.l1.hit_latency,
+            program,
+            next_fetch: 0,
+            retired: 0,
+            next_dispatch_id: 0,
+            rob: Rob::new(cfg.core.rob_size),
+            mem: CoreMem::new(id, cfg),
+            engine,
+            stats: CoreStats::new(),
+            deferred: Vec::new(),
+            pending_replies: Vec::new(),
+            load_results: Vec::new(),
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The name of the ordering engine driving this core.
+    pub fn engine_name(&self) -> String {
+        self.engine.name()
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Number of instructions architecturally retired (not counting
+    /// speculative retirements that were squashed).
+    pub fn retired_count(&self) -> usize {
+        self.retired
+    }
+
+    /// Values observed by retired loads and atomics, as
+    /// `(program_index, value)` pairs reflecting the final (post-rollback)
+    /// execution. Used by litmus tests.
+    pub fn load_results(&self) -> &[(usize, u64)] {
+        &self.load_results
+    }
+
+    /// True when every instruction has retired, the store buffer has drained,
+    /// and no speculation is in flight.
+    pub fn finished(&self) -> bool {
+        self.retired >= self.program.len()
+            && self.rob.is_empty()
+            && self.mem.sb_empty()
+            && !self.engine.speculating()
+    }
+
+    /// True while the engine is in a post-retirement speculative episode.
+    pub fn speculating(&self) -> bool {
+        self.engine.speculating()
+    }
+
+    /// Drains the coherence requests this core produced.
+    pub fn take_requests(&mut self) -> Vec<CoherenceRequest> {
+        self.mem.take_requests()
+    }
+
+    /// Drains snoop replies produced asynchronously (deferred acknowledgements
+    /// resolved during [`Core::step`]).
+    pub fn take_replies(&mut self) -> Vec<SnoopReply> {
+        std::mem::take(&mut self.pending_replies)
+    }
+
+    /// Folds any still-open speculative episode into the statistics (called
+    /// once when the simulation ends).
+    pub fn finalize(&mut self) {
+        self.engine.finalize(&mut self.mem, &mut self.stats);
+    }
+
+    /// A one-line description of the core's pipeline state, for diagnosing
+    /// stalls and deadlocks.
+    pub fn debug_snapshot(&self, now: Cycle) -> String {
+        let head = match self.rob.head() {
+            Some(h) => format!(
+                "head=[#{} {} issued={} complete_at={:?} performed={} block={:?}]",
+                h.program_index, h.instr, h.issued, h.complete_at, h.performed_read, h.block
+            ),
+            None => "head=[empty]".to_string(),
+        };
+        let mshrs: Vec<String> = self
+            .mem
+            .mshrs
+            .iter()
+            .map(|e| format!("{}(w={},pf={},waiters={})", e.block, e.for_write, e.prefetch, e.waiters.len()))
+            .collect();
+        format!(
+            "core{} now={} retired={}/{} rob={} sb={} spec={} deferred={} {} mshrs=[{}]",
+            self.id.index(),
+            now,
+            self.retired,
+            self.program.len(),
+            self.rob.len(),
+            self.mem.sb.len(),
+            self.engine.speculating(),
+            self.deferred.len(),
+            head,
+            mshrs.join(", ")
+        )
+    }
+
+    fn rollback(&mut self, resume_at: usize) {
+        let squashed_inflight = self.rob.squash_all();
+        let squashed_retired = self.retired.saturating_sub(resume_at);
+        self.stats.counters.instructions_squashed += (squashed_inflight + squashed_retired) as u64;
+        self.next_fetch = resume_at;
+        self.retired = resume_at;
+        self.load_results.retain(|(idx, _)| *idx < resume_at);
+    }
+
+    fn apply_engine_actions(&mut self, actions: Vec<EngineAction>) {
+        for action in actions {
+            match action {
+                EngineAction::Rollback { resume_at } => self.rollback(resume_at),
+            }
+        }
+    }
+
+    /// Handles one delivery from the coherence fabric, returning the snoop
+    /// reply to send back (external requests only; fills need no reply).
+    pub fn handle_delivery(&mut self, delivery: Delivery, now: Cycle) -> Option<SnoopReply> {
+        match delivery {
+            Delivery::Fill { block, state, data, .. } => {
+                if self.mem.l1.fill_would_evict_spec(block) {
+                    let actions = {
+                        let Core { mem, engine, stats, .. } = self;
+                        engine.on_spec_eviction_pressure(mem, stats, now)
+                    };
+                    self.apply_engine_actions(actions);
+                }
+                let result = self.mem.fill(block, state, data, now, &mut self.stats.counters);
+                for waiter in result.waiters {
+                    self.complete_waiter(waiter, block, now);
+                }
+                // Also wake any instruction that issued a request for this
+                // block but whose waiter registration was lost (e.g. it was
+                // re-dispatched after a replay while the miss was in flight).
+                let stragglers: Vec<u64> = self
+                    .rob
+                    .iter()
+                    .filter(|e| {
+                        e.issued && e.complete_at.is_none() && e.block == Some(block)
+                    })
+                    .map(|e| e.dispatch_id)
+                    .collect();
+                for waiter in stragglers {
+                    self.complete_waiter(waiter, block, now);
+                }
+                None
+            }
+            Delivery::Invalidate { block, txn, .. } => {
+                self.stats.counters.external_invalidations += 1;
+                Some(self.handle_external(block, ExternalKind::Invalidate, txn, now))
+            }
+            Delivery::Downgrade { block, txn, .. } => {
+                self.stats.counters.external_downgrades += 1;
+                Some(self.handle_external(block, ExternalKind::Downgrade, txn, now))
+            }
+        }
+    }
+
+    fn complete_waiter(&mut self, waiter: u64, block: BlockAddr, now: Cycle) {
+        let hit_latency = self.l1_hit_latency;
+        let at_head = self.mem.sb_empty()
+            && self.rob.head().map(|h| h.dispatch_id == waiter).unwrap_or(false);
+        // Find the waiting instruction; it may have been squashed, in which
+        // case there is nothing to do.
+        let mut needs_value = None;
+        for entry in self.rob.iter_mut() {
+            if entry.dispatch_id == waiter {
+                entry.complete_at = Some(now + hit_latency);
+                if entry.instr.kind.reads_memory() && !entry.performed_read {
+                    needs_value = Some(entry.program_index);
+                }
+                break;
+            }
+        }
+        if let Some(_idx) = needs_value {
+            let value = self
+                .mem
+                .read_value(self.program_addr_of_waiter(waiter).unwrap_or_default())
+                .unwrap_or(0);
+            for entry in self.rob.iter_mut() {
+                if entry.dispatch_id == waiter {
+                    entry.loaded_value = Some(value);
+                    entry.performed_read = true;
+                    entry.bound_at_head = at_head;
+                    break;
+                }
+            }
+            let Core { mem, engine, .. } = self;
+            engine.on_load_issue(mem, block);
+        }
+    }
+
+    fn program_addr_of_waiter(&self, waiter: u64) -> Option<ifence_types::Addr> {
+        self.rob
+            .iter()
+            .find(|e| e.dispatch_id == waiter)
+            .and_then(|e| e.instr.kind.addr())
+    }
+
+    fn handle_external(
+        &mut self,
+        block: BlockAddr,
+        kind: ExternalKind,
+        txn: TxnId,
+        now: Cycle,
+    ) -> SnoopReply {
+        let outcome = {
+            let Core { mem, engine, stats, .. } = self;
+            engine.on_external(mem, stats, block, kind, now)
+        };
+        match outcome {
+            ExternalOutcome::Ack => {
+                self.in_window_snoop(block, kind);
+                self.apply_and_ack(block, kind, txn)
+            }
+            ExternalOutcome::AckAfterRollback { resume_at } => {
+                self.rollback(resume_at);
+                self.apply_and_ack(block, kind, txn)
+            }
+            ExternalOutcome::Defer { until } => {
+                self.stats.counters.cov_deferrals += 1;
+                self.deferred.push(DeferredSnoop { txn, block, kind, deadline: until });
+                SnoopReply::Defer { core: self.id, txn }
+            }
+        }
+    }
+
+    fn in_window_snoop(&mut self, block: BlockAddr, kind: ExternalKind) {
+        if self.engine.subsumes_in_window() || !kind.is_write() {
+            return;
+        }
+        if let Some(entry) = self.rob.oldest_vulnerable_read_of(block) {
+            let resume_at = entry.program_index;
+            let squashed = self.rob.squash_from(resume_at);
+            if squashed > 0 {
+                self.stats.counters.in_window_replays += 1;
+                self.stats.counters.instructions_squashed += squashed as u64;
+                self.next_fetch = resume_at;
+            }
+        }
+    }
+
+    fn apply_and_ack(&mut self, block: BlockAddr, kind: ExternalKind, txn: TxnId) -> SnoopReply {
+        let dirty = match kind {
+            ExternalKind::Invalidate => self.mem.apply_invalidate(block),
+            ExternalKind::Downgrade => self.mem.apply_downgrade(block),
+        };
+        SnoopReply::Ack { core: self.id, txn, dirty_data: dirty }
+    }
+
+    fn resolve_deferred(&mut self, now: Cycle) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let mut still_deferred = Vec::new();
+        let deferred = std::mem::take(&mut self.deferred);
+        for d in deferred {
+            let resolution = {
+                let Core { mem, engine, stats, .. } = self;
+                engine.resolve_deferred(mem, stats, d.block, d.kind, d.deadline, now)
+            };
+            match resolution {
+                DeferResolution::Wait => still_deferred.push(d),
+                DeferResolution::Ack => {
+                    self.in_window_snoop(d.block, d.kind);
+                    let reply = self.apply_and_ack(d.block, d.kind, d.txn);
+                    self.pending_replies.push(reply);
+                }
+                DeferResolution::AckAfterRollback { resume_at } => {
+                    self.rollback(resume_at);
+                    let reply = self.apply_and_ack(d.block, d.kind, d.txn);
+                    self.pending_replies.push(reply);
+                }
+            }
+        }
+        self.deferred = still_deferred;
+    }
+
+    fn issue_stage(&mut self, now: Cycle) {
+        let mut mem_ports_used = 0;
+        let max_ports = self.cfg.mem_issue_ports;
+        let hit_latency = self.l1_hit_latency;
+        // Borrow pieces separately so issuing can touch the memory side while
+        // iterating the reorder buffer.
+        let Core { rob, mem, engine, stats, .. } = self;
+        let sb_empty_now = mem.sb_empty();
+        for (position, entry) in rob.iter_mut().enumerate() {
+            // A value bound here is immune to later invalidations only if
+            // every older instruction has retired AND no older store is still
+            // pending in the store buffer (otherwise the binding could expose
+            // a forbidden reordering, e.g. Dekker under SC).
+            let at_head = position == 0 && sb_empty_now;
+            if entry.issued {
+                continue;
+            }
+            match entry.instr.kind {
+                InstrKind::Op(lat) => {
+                    entry.complete_at = Some(now + lat as u64);
+                    entry.issued = true;
+                }
+                InstrKind::Fence(_) => {
+                    entry.complete_at = Some(now + 1);
+                    entry.issued = true;
+                }
+                InstrKind::Load(addr) => {
+                    if mem_ports_used >= max_ports {
+                        continue;
+                    }
+                    mem_ports_used += 1;
+                    let block = mem.block_of(addr);
+                    entry.block = Some(block);
+                    if let Some(value) = mem.sb.forward(addr) {
+                        entry.loaded_value = Some(value);
+                        entry.performed_read = true;
+                        entry.bound_at_head = at_head;
+                        entry.complete_at = Some(now + 1);
+                        entry.issued = true;
+                        stats.counters.sb_forwards += 1;
+                        if mem.l1.peek(block).readable() {
+                            engine.on_load_issue(mem, block);
+                        }
+                    } else if mem.l1.lookup(block).readable() {
+                        let word = addr.word_in_block(mem.block_bytes()).index();
+                        entry.loaded_value = mem.l1.read_word(block, word);
+                        entry.performed_read = true;
+                        entry.bound_at_head = at_head;
+                        entry.complete_at = Some(now + hit_latency);
+                        entry.issued = true;
+                        stats.counters.l1_hits += 1;
+                        engine.on_load_issue(mem, block);
+                    } else if mem.ensure_read_miss(block, entry.dispatch_id, now, &mut stats.counters)
+                    {
+                        entry.issued = true;
+                    }
+                }
+                InstrKind::Store(addr, _) => {
+                    if mem_ports_used >= max_ports {
+                        continue;
+                    }
+                    mem_ports_used += 1;
+                    let block = mem.block_of(addr);
+                    entry.block = Some(block);
+                    entry.complete_at = Some(now + 1);
+                    entry.issued = true;
+                    mem.store_prefetch(block, now, &mut stats.counters);
+                }
+                InstrKind::Atomic(addr, _) => {
+                    if mem_ports_used >= max_ports {
+                        continue;
+                    }
+                    mem_ports_used += 1;
+                    let block = mem.block_of(addr);
+                    entry.block = Some(block);
+                    if mem.l1.lookup(block).writable() {
+                        let word = addr.word_in_block(mem.block_bytes()).index();
+                        entry.loaded_value =
+                            mem.sb.forward(addr).or_else(|| mem.l1.read_word(block, word));
+                        entry.performed_read = true;
+                        entry.bound_at_head = at_head;
+                        entry.complete_at = Some(now + hit_latency);
+                        entry.issued = true;
+                        stats.counters.l1_hits += 1;
+                        engine.on_load_issue(mem, block);
+                    } else if mem.ensure_write_miss(
+                        block,
+                        Some(entry.dispatch_id),
+                        false,
+                        now,
+                        &mut stats.counters,
+                    ) {
+                        entry.issued = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn retire_stage(&mut self, now: Cycle) -> (usize, Option<StallReason>) {
+        let mut retired_this_cycle = 0;
+        let mut stall = None;
+        while retired_this_cycle < self.cfg.width {
+            let head = match self.rob.head() {
+                Some(h) => *h,
+                None => {
+                    if self.next_fetch < self.program.len() {
+                        stall = Some(StallReason::RobEmpty);
+                    }
+                    break;
+                }
+            };
+            if !head.completed(now) {
+                stall = Some(StallReason::IncompleteHead);
+                break;
+            }
+            let outcome = {
+                let Core { mem, engine, stats, .. } = self;
+                let mut ctx = RetireCtx { mem, stats, now, entry: &head };
+                engine.try_retire(&mut ctx)
+            };
+            match outcome {
+                RetireOutcome::Retired => {
+                    self.rob.pop_head();
+                    self.retired = head.program_index + 1;
+                    retired_this_cycle += 1;
+                    self.stats.counters.instructions_retired += 1;
+                    match head.instr.kind {
+                        InstrKind::Load(_) => {
+                            self.stats.counters.loads_retired += 1;
+                            self.load_results
+                                .push((head.program_index, head.loaded_value.unwrap_or(0)));
+                        }
+                        InstrKind::Store(..) => self.stats.counters.stores_retired += 1,
+                        InstrKind::Atomic(..) => {
+                            self.stats.counters.atomics_retired += 1;
+                            self.load_results
+                                .push((head.program_index, head.loaded_value.unwrap_or(0)));
+                        }
+                        InstrKind::Fence(_) => self.stats.counters.fences_retired += 1,
+                        InstrKind::Op(_) => {}
+                    }
+                }
+                RetireOutcome::Stall(reason) => {
+                    stall = Some(reason);
+                    break;
+                }
+            }
+        }
+        (retired_this_cycle, stall)
+    }
+
+    fn dispatch_stage(&mut self) {
+        let mut dispatched = 0;
+        while dispatched < self.cfg.width
+            && !self.rob.is_full()
+            && self.next_fetch < self.program.len()
+        {
+            let instr = *self.program.get(self.next_fetch).expect("index bounded by len");
+            self.rob.push(self.next_fetch, self.next_dispatch_id, instr);
+            self.next_fetch += 1;
+            self.next_dispatch_id += 1;
+            dispatched += 1;
+        }
+    }
+
+    /// Advances the core by one cycle.
+    pub fn step(&mut self, now: Cycle) -> CoreOutput {
+        // 1. Engine maintenance (opportunistic commit, chunk management, CoV).
+        let actions = {
+            let Core { mem, engine, stats, .. } = self;
+            engine.tick(mem, stats, now)
+        };
+        self.apply_engine_actions(actions);
+
+        // 2. Resolve deferred external requests.
+        self.resolve_deferred(now);
+
+        // 3. Drain the store buffer into the L1.
+        {
+            let Core { mem, engine, stats, .. } = self;
+            let drain_limit = self.cfg.sb_drain_per_cycle;
+            mem.drain_store_buffer(drain_limit, now, &mut stats.counters, |epoch| {
+                engine.can_drain(epoch)
+            });
+        }
+
+        // 4. Issue ready instructions to the memory system / ALUs.
+        self.issue_stage(now);
+
+        // 5. Retire in order, consulting the ordering engine.
+        let (retired, stall) = self.retire_stage(now);
+
+        // 6. Dispatch new instructions from the trace.
+        self.dispatch_stage();
+
+        // End of program: once everything has retired and drained, fold any
+        // still-open speculation into the final state (its ordering
+        // requirements are trivially satisfied because the store buffer is
+        // empty).
+        if self.retired >= self.program.len()
+            && self.rob.is_empty()
+            && self.mem.sb_empty()
+            && self.engine.speculating()
+        {
+            let Core { mem, engine, stats, .. } = self;
+            engine.finalize(mem, stats);
+        }
+
+        // 7. Attribute the cycle.
+        let class = if self.finished() {
+            None
+        } else if retired > 0 {
+            Some(CycleClass::Busy)
+        } else {
+            Some(stall.map(|s| s.cycle_class()).unwrap_or(CycleClass::Other))
+        };
+        if let Some(class) = class {
+            let Core { engine, stats, .. } = self;
+            engine.record_cycle(class, stats);
+            if engine.speculating() {
+                stats.counters.cycles_speculating += 1;
+            }
+        }
+        CoreOutput { retired, class }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FreeRetireEngine;
+    use ifence_mem::{BlockData, LineState};
+    use ifence_types::{Addr, ConsistencyModel, EngineKind, Instruction};
+
+    fn machine_cfg() -> MachineConfig {
+        MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Rmo))
+    }
+
+    fn blk(byte: u64) -> BlockAddr {
+        BlockAddr::containing(Addr::new(byte), 64)
+    }
+
+    fn prefill(core: &mut Core, blocks: &[u64], state: LineState) {
+        for &b in blocks {
+            core.mem.l1.fill(blk(b), state, BlockData::zeroed());
+        }
+    }
+
+    fn run(core: &mut Core, cycles: Cycle) {
+        for now in 0..cycles {
+            core.step(now);
+            if core.finished() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn retires_simple_program_of_hits() {
+        let cfg = machine_cfg();
+        let mut program = Program::new();
+        for i in 0..32u64 {
+            program.push(Instruction::op(1));
+            program.push(Instruction::load(Addr::new(0x1000 + (i % 4) * 64)));
+        }
+        let mut core = Core::new(CoreId(0), program, &cfg, Box::new(FreeRetireEngine));
+        prefill(&mut core, &[0x1000, 0x1040, 0x1080, 0x10c0], LineState::Exclusive);
+        run(&mut core, 10_000);
+        assert!(core.finished());
+        assert_eq!(core.retired_count(), 64);
+        assert_eq!(core.stats().counters.loads_retired, 32);
+        assert!(core.stats().counters.l1_hits >= 32);
+        assert!(core.stats().breakdown.get(CycleClass::Busy) > 0);
+    }
+
+    #[test]
+    fn load_miss_waits_for_fill() {
+        let cfg = machine_cfg();
+        let mut program = Program::new();
+        program.push(Instruction::load(Addr::new(0x2000)));
+        let mut core = Core::new(CoreId(0), program, &cfg, Box::new(FreeRetireEngine));
+        // Step a few cycles: the load misses and cannot retire.
+        for now in 0..20 {
+            core.step(now);
+        }
+        assert!(!core.finished());
+        let reqs = core.take_requests();
+        assert_eq!(reqs.len(), 1, "exactly one GetS issued");
+        assert_eq!(core.stats().breakdown.get(CycleClass::Other), 20);
+        // Deliver the fill; the load completes, reads the value, and retires.
+        core.handle_delivery(
+            Delivery::Fill {
+                core: CoreId(0),
+                block: blk(0x2000),
+                state: LineState::Shared,
+                data: BlockData::from_words([42; 8]),
+                txn: TxnId(0),
+            },
+            20,
+        );
+        for now in 21..40 {
+            core.step(now);
+            if core.finished() {
+                break;
+            }
+        }
+        assert!(core.finished());
+        assert_eq!(core.load_results(), &[(0, 42)]);
+    }
+
+    #[test]
+    fn store_drains_through_buffer_after_fill() {
+        let cfg = machine_cfg();
+        let mut program = Program::new();
+        program.push(Instruction::store(Addr::new(0x3000), 7));
+        let mut core = Core::new(CoreId(0), program, &cfg, Box::new(FreeRetireEngine));
+        for now in 0..10 {
+            core.step(now);
+        }
+        // The store retired into the buffer but the core is not finished
+        // until the buffer drains.
+        assert_eq!(core.retired_count(), 1);
+        assert!(!core.finished());
+        core.handle_delivery(
+            Delivery::Fill {
+                core: CoreId(0),
+                block: blk(0x3000),
+                state: LineState::Exclusive,
+                data: BlockData::zeroed(),
+                txn: TxnId(0),
+            },
+            10,
+        );
+        for now in 11..20 {
+            core.step(now);
+        }
+        assert!(core.finished());
+        assert_eq!(core.mem.read_value(Addr::new(0x3000)), Some(7));
+        assert_eq!(core.stats().counters.sb_drains, 1);
+    }
+
+    #[test]
+    fn external_invalidate_returns_dirty_data() {
+        let cfg = machine_cfg();
+        let mut core = Core::new(CoreId(0), Program::new(), &cfg, Box::new(FreeRetireEngine));
+        core.mem.l1.fill(blk(0x4000), LineState::Modified, BlockData::from_words([9; 8]));
+        let reply = core
+            .handle_delivery(
+                Delivery::Invalidate {
+                    core: CoreId(0),
+                    block: blk(0x4000),
+                    txn: TxnId(3),
+                    requester: CoreId(1),
+                },
+                5,
+            )
+            .expect("external requests are acknowledged");
+        match reply {
+            SnoopReply::Ack { txn, dirty_data, .. } => {
+                assert_eq!(txn, TxnId(3));
+                assert_eq!(dirty_data.unwrap().word(0), 9);
+            }
+            other => panic!("expected Ack, got {other:?}"),
+        }
+        assert_eq!(core.stats().counters.external_invalidations, 1);
+        assert_eq!(core.mem.l1.peek(blk(0x4000)), LineState::Invalid);
+    }
+
+    #[test]
+    fn in_window_snoop_replays_speculative_loads() {
+        let cfg = machine_cfg();
+        let mut program = Program::new();
+        // A long-latency op at the head keeps younger loads un-retired while
+        // they execute early.
+        program.push(Instruction::op(200));
+        program.push(Instruction::load(Addr::new(0x5000)));
+        program.push(Instruction::load(Addr::new(0x5040)));
+        let mut core = Core::new(CoreId(0), program, &cfg, Box::new(FreeRetireEngine));
+        prefill(&mut core, &[0x5000, 0x5040], LineState::Shared);
+        for now in 0..10 {
+            core.step(now);
+        }
+        assert_eq!(core.retired_count(), 0, "head op still executing");
+        // A remote writer invalidates the block read by the first load.
+        core.handle_delivery(
+            Delivery::Invalidate {
+                core: CoreId(0),
+                block: blk(0x5000),
+                txn: TxnId(1),
+                requester: CoreId(1),
+            },
+            10,
+        );
+        assert_eq!(core.stats().counters.in_window_replays, 1);
+        assert!(core.stats().counters.instructions_squashed >= 2);
+        // Refill so the replayed loads can hit again, then run to completion.
+        prefill(&mut core, &[0x5000], LineState::Shared);
+        for now in 11..600 {
+            core.step(now);
+            if core.finished() {
+                break;
+            }
+        }
+        assert!(core.finished());
+        assert_eq!(core.retired_count(), 3);
+    }
+
+    #[test]
+    fn cycle_accounting_adds_up() {
+        let cfg = machine_cfg();
+        let mut program = Program::new();
+        for _ in 0..16 {
+            program.push(Instruction::op(1));
+        }
+        let mut core = Core::new(CoreId(0), program, &cfg, Box::new(FreeRetireEngine));
+        let mut cycles = 0;
+        for now in 0..100 {
+            core.step(now);
+            if core.finished() {
+                break;
+            }
+            cycles += 1;
+        }
+        // Every non-finished cycle is attributed to exactly one bucket.
+        assert_eq!(core.stats().breakdown.total(), cycles);
+    }
+
+    #[test]
+    fn dispatch_respects_rob_capacity() {
+        let mut cfg = machine_cfg();
+        cfg.core.rob_size = 8;
+        let mut program = Program::new();
+        program.push(Instruction::load(Addr::new(0x9000))); // miss: blocks retirement
+        for _ in 0..64 {
+            program.push(Instruction::op(1));
+        }
+        let mut core = Core::new(CoreId(0), program, &cfg, Box::new(FreeRetireEngine));
+        for now in 0..50 {
+            core.step(now);
+        }
+        assert_eq!(core.retired_count(), 0);
+        // next_fetch can be at most rob_size ahead of retirement.
+        assert!(core.rob.len() <= 8);
+    }
+
+    /// An engine that begins "speculating" on the first retirement and rolls
+    /// back when told to, for exercising the rollback plumbing.
+    struct RollbackProbe {
+        rolled_back: bool,
+    }
+
+    impl OrderingEngine for RollbackProbe {
+        fn name(&self) -> String {
+            "rollback-probe".to_string()
+        }
+        fn try_retire(&mut self, ctx: &mut RetireCtx<'_>) -> RetireOutcome {
+            if let InstrKind::Store(addr, value) = ctx.entry.instr.kind {
+                let _ = ctx.mem.store_to_sb(addr, value, None, ctx.now, &mut ctx.stats.counters);
+            }
+            RetireOutcome::Retired
+        }
+        fn tick(
+            &mut self,
+            _mem: &mut CoreMem,
+            _stats: &mut CoreStats,
+            now: Cycle,
+        ) -> Vec<EngineAction> {
+            if now == 3 && !self.rolled_back {
+                self.rolled_back = true;
+                vec![EngineAction::Rollback { resume_at: 0 }]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn rollback_replays_from_checkpoint() {
+        let cfg = machine_cfg();
+        let mut program = Program::new();
+        for i in 0..8u64 {
+            program.push(Instruction::load(Addr::new(0x6000 + (i % 2) * 64)));
+            program.push(Instruction::op(1));
+        }
+        let mut core =
+            Core::new(CoreId(0), program, &cfg, Box::new(RollbackProbe { rolled_back: false }));
+        prefill(&mut core, &[0x6000, 0x6040], LineState::Exclusive);
+        for now in 0..200 {
+            core.step(now);
+            if core.finished() {
+                break;
+            }
+        }
+        assert!(core.finished());
+        assert_eq!(core.retired_count(), 16, "everything re-retires after the rollback");
+        assert!(core.stats().counters.instructions_squashed > 0);
+        // Load results cover each load exactly once despite the replay.
+        let mut indexes: Vec<usize> = core.load_results().iter().map(|(i, _)| *i).collect();
+        indexes.dedup();
+        assert_eq!(indexes.len(), 8);
+    }
+}

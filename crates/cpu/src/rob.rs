@@ -1,0 +1,220 @@
+//! Reorder buffer: in-flight instruction tracking.
+
+use ifence_types::{BlockAddr, Cycle, Instruction};
+use std::collections::VecDeque;
+
+/// One in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobEntry {
+    /// Index of the instruction in the core's program (stable across replay).
+    pub program_index: usize,
+    /// Unique dispatch identifier (never reused, even across rollbacks), used
+    /// to tag MSHR waiters.
+    pub dispatch_id: u64,
+    /// The instruction itself.
+    pub instr: Instruction,
+    /// Whether the instruction has been issued to the memory system / ALU.
+    pub issued: bool,
+    /// Cycle at which execution completes (None while still executing or not
+    /// yet issued for a miss).
+    pub complete_at: Option<Cycle>,
+    /// The cache block the instruction accesses, if it is a memory operation.
+    pub block: Option<BlockAddr>,
+    /// Whether a load/atomic has performed its data read (needed for
+    /// in-window ordering snoops and for continuous-mode read marking).
+    pub performed_read: bool,
+    /// True if the read was performed while this instruction was the oldest
+    /// one in flight: every older instruction had already retired (and bound
+    /// its value earlier), so an external invalidation can no longer expose a
+    /// load-load reordering through this entry and it need not be replayed.
+    /// This is the forward-progress guarantee of in-window snooping.
+    pub bound_at_head: bool,
+    /// The value obtained by a load/atomic read (captured at execute or fill).
+    pub loaded_value: Option<u64>,
+}
+
+impl RobEntry {
+    /// True once the instruction has finished executing by cycle `now`.
+    pub fn completed(&self, now: Cycle) -> bool {
+        self.complete_at.map(|c| c <= now).unwrap_or(false)
+    }
+}
+
+/// A bounded in-order reorder buffer.
+///
+/// # Example
+/// ```
+/// use ifence_cpu::Rob;
+/// use ifence_types::{Addr, Instruction};
+/// let mut rob = Rob::new(4);
+/// rob.push(0, 0, Instruction::load(Addr::new(0x40)));
+/// assert_eq!(rob.len(), 1);
+/// assert!(rob.head().is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rob {
+    capacity: usize,
+    entries: VecDeque<RobEntry>,
+}
+
+impl Rob {
+    /// Creates an empty reorder buffer with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Rob { capacity, entries: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Number of in-flight instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if no instructions are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns true if the buffer cannot accept another instruction.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Dispatches an instruction into the buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer is full (the core checks before dispatching).
+    pub fn push(&mut self, program_index: usize, dispatch_id: u64, instr: Instruction) {
+        assert!(!self.is_full(), "reorder buffer overflow");
+        self.entries.push_back(RobEntry {
+            program_index,
+            dispatch_id,
+            instr,
+            issued: false,
+            complete_at: None,
+            block: None,
+            performed_read: false,
+            bound_at_head: false,
+            loaded_value: None,
+        });
+    }
+
+    /// The oldest in-flight instruction.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Mutable access to the oldest in-flight instruction.
+    pub fn head_mut(&mut self) -> Option<&mut RobEntry> {
+        self.entries.front_mut()
+    }
+
+    /// Removes and returns the oldest instruction (retirement).
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Iterates over in-flight instructions oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration over in-flight instructions oldest-first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Discards every in-flight instruction (pipeline squash), returning how
+    /// many were discarded.
+    pub fn squash_all(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Discards every instruction at or after `program_index` (partial squash
+    /// used by in-window ordering replays), returning how many were discarded.
+    pub fn squash_from(&mut self, program_index: usize) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.program_index < program_index);
+        before - self.entries.len()
+    }
+
+    /// Finds the oldest entry that has performed a read of `block` (used by
+    /// load-queue snooping on external invalidations).
+    pub fn oldest_read_of(&self, block: BlockAddr) -> Option<&RobEntry> {
+        self.entries.iter().find(|e| e.performed_read && e.block == Some(block))
+    }
+
+    /// Finds the oldest entry whose read of `block` is still vulnerable to an
+    /// external invalidation (performed, but not bound while it was the oldest
+    /// in-flight instruction). This is the entry from which an in-window
+    /// ordering replay must squash.
+    pub fn oldest_vulnerable_read_of(&self, block: BlockAddr) -> Option<&RobEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.performed_read && !e.bound_at_head && e.block == Some(block))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifence_types::Addr;
+
+    #[test]
+    fn push_pop_in_order() {
+        let mut rob = Rob::new(8);
+        for i in 0..5usize {
+            rob.push(i, i as u64, Instruction::op(1));
+        }
+        assert_eq!(rob.len(), 5);
+        assert_eq!(rob.pop_head().unwrap().program_index, 0);
+        assert_eq!(rob.pop_head().unwrap().program_index, 1);
+        assert_eq!(rob.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(0, 0, Instruction::op(1));
+        rob.push(1, 1, Instruction::op(1));
+    }
+
+    #[test]
+    fn squash_from_partial() {
+        let mut rob = Rob::new(8);
+        for i in 0..6usize {
+            rob.push(i, i as u64, Instruction::op(1));
+        }
+        assert_eq!(rob.squash_from(3), 3);
+        assert_eq!(rob.len(), 3);
+        assert!(rob.iter().all(|e| e.program_index < 3));
+        assert_eq!(rob.squash_all(), 3);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn oldest_read_of_finds_performed_loads() {
+        let mut rob = Rob::new(8);
+        let block = BlockAddr::containing(Addr::new(0x100), 64);
+        rob.push(0, 0, Instruction::load(Addr::new(0x100)));
+        rob.push(1, 1, Instruction::load(Addr::new(0x100)));
+        assert!(rob.oldest_read_of(block).is_none(), "not performed yet");
+        for e in rob.iter_mut() {
+            e.block = Some(block);
+            e.performed_read = true;
+        }
+        assert_eq!(rob.oldest_read_of(block).unwrap().program_index, 0);
+    }
+
+    #[test]
+    fn completion_check() {
+        let mut rob = Rob::new(2);
+        rob.push(0, 0, Instruction::op(1));
+        let e = rob.head_mut().unwrap();
+        assert!(!e.completed(100));
+        e.complete_at = Some(50);
+        assert!(rob.head().unwrap().completed(100));
+        assert!(!rob.head().unwrap().completed(49));
+    }
+}

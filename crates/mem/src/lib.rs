@@ -1,0 +1,50 @@
+//! Memory structures for the InvisiFence reproduction.
+//!
+//! This crate provides the storage structures the paper's machine is built
+//! from, all at cache-block granularity:
+//!
+//! * [`SetAssocCache`] — a set-associative L1 data cache whose tags carry the
+//!   speculatively-read / speculatively-written bits InvisiFence adds
+//!   (Section 3.1), supporting the two single-cycle flash operations of
+//!   Figure 3 via [`SpecBitArray`].
+//! * [`VictimCache`] — the 16-entry fully-associative victim cache of the
+//!   paper's L1 configuration.
+//! * [`MshrFile`] — miss-status holding registers tracking outstanding misses.
+//! * [`StoreBuffer`] — the three store-buffer organizations of Figure 2 /
+//!   Figure 5: the word-granularity FIFO used by conventional SC/TSO, the
+//!   block-granularity coalescing buffer used by conventional RMO and
+//!   InvisiFence, and ASO's Scalable Store Buffer.
+//! * [`L1Cache`] — the combination of cache + victim cache used by a core.
+//!
+//! # Example
+//!
+//! ```
+//! use ifence_mem::{L1Cache, LineState, BlockData};
+//! use ifence_types::{Addr, BlockAddr, CacheConfig};
+//!
+//! let cfg = CacheConfig::paper_l1d();
+//! let mut l1 = L1Cache::new(&cfg);
+//! let block = BlockAddr::containing(Addr::new(0x1000), cfg.block_bytes);
+//! assert_eq!(l1.peek(block), LineState::Invalid);
+//! l1.fill(block, LineState::Exclusive, BlockData::zeroed());
+//! assert_eq!(l1.peek(block), LineState::Exclusive);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod l1;
+pub mod line;
+pub mod mshr;
+pub mod spec_bits;
+pub mod store_buffer;
+pub mod victim;
+
+pub use cache::{EvictedLine, SetAssocCache};
+pub use l1::{EvictionAction, L1Cache};
+pub use line::{BlockData, LineState, WORDS_PER_BLOCK};
+pub use mshr::{MshrEntry, MshrError, MshrFile};
+pub use spec_bits::SpecBitArray;
+pub use store_buffer::{SbEntry, SbError, StoreBuffer};
+pub use victim::VictimCache;

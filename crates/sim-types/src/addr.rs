@@ -1,0 +1,212 @@
+//! Address, core-identifier and time newtypes.
+//!
+//! All addresses in the simulator are physical byte addresses wrapped in
+//! [`Addr`]. Cache and coherence structures operate on [`BlockAddr`], a byte
+//! address truncated to a cache-block boundary. Newtypes keep the two from
+//! being confused (a classic simulator bug).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulated time, measured in processor clock cycles.
+pub type Cycle = u64;
+
+/// A physical byte address in the simulated machine.
+///
+/// # Example
+/// ```
+/// use ifence_types::Addr;
+/// let a = Addr::new(0x40);
+/// assert_eq!(a.raw(), 0x40);
+/// assert_eq!(a.offset(0x8).raw(), 0x48);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this address displaced by `bytes`.
+    pub const fn offset(self, bytes: u64) -> Self {
+        Addr(self.0.wrapping_add(bytes))
+    }
+
+    /// Returns the 8-byte-word offset of this address within a block of
+    /// `block_bytes` bytes.
+    pub fn word_in_block(self, block_bytes: usize) -> WordOffset {
+        debug_assert!(block_bytes.is_power_of_two());
+        let within = (self.0 as usize) & (block_bytes - 1);
+        WordOffset((within / 8) as u8)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// Index of an 8-byte word within a cache block (0..block_bytes/8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct WordOffset(pub u8);
+
+impl WordOffset {
+    /// Returns the offset as a usize index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A cache-block-aligned address.
+///
+/// The wrapped value is the *block number* (byte address divided by the block
+/// size), so two `BlockAddr`s created with the same block size compare equal
+/// exactly when they name the same cache block.
+///
+/// # Example
+/// ```
+/// use ifence_types::{Addr, BlockAddr};
+/// let a = BlockAddr::containing(Addr::new(0x47), 64);
+/// let b = BlockAddr::containing(Addr::new(0x40), 64);
+/// assert_eq!(a, b);
+/// assert_eq!(a.byte_addr().raw(), 0x40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BlockAddr {
+    number: u64,
+    block_bytes: u32,
+}
+
+impl BlockAddr {
+    /// Returns the block containing byte address `addr` for `block_bytes`-byte blocks.
+    ///
+    /// # Panics
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn containing(addr: Addr, block_bytes: usize) -> Self {
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        BlockAddr {
+            number: addr.raw() / block_bytes as u64,
+            block_bytes: block_bytes as u32,
+        }
+    }
+
+    /// Returns the block number (byte address / block size).
+    pub const fn number(self) -> u64 {
+        self.number
+    }
+
+    /// Returns the block size in bytes this block address was formed with.
+    pub const fn block_bytes(self) -> usize {
+        self.block_bytes as usize
+    }
+
+    /// Returns the byte address of the first byte of the block.
+    pub const fn byte_addr(self) -> Addr {
+        Addr::new(self.number * self.block_bytes as u64)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:{:#x}", self.number * self.block_bytes as u64)
+    }
+}
+
+/// Identifier of a processor core / node in the simulated machine.
+///
+/// # Example
+/// ```
+/// use ifence_types::CoreId;
+/// let c = CoreId(3);
+/// assert_eq!(c.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// Returns the core index as a usize.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(i: usize) -> Self {
+        CoreId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_truncates_to_block_boundary() {
+        let block = BlockAddr::containing(Addr::new(0x1fff), 64);
+        assert_eq!(block.byte_addr().raw(), 0x1fc0);
+        assert_eq!(block.block_bytes(), 64);
+    }
+
+    #[test]
+    fn same_block_compares_equal() {
+        let a = BlockAddr::containing(Addr::new(0x100), 64);
+        let b = BlockAddr::containing(Addr::new(0x13f), 64);
+        let c = BlockAddr::containing(Addr::new(0x140), 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn word_offsets_cover_block() {
+        let block_bytes = 64;
+        for byte in 0..block_bytes as u64 {
+            let w = Addr::new(0x4000 + byte).word_in_block(block_bytes);
+            assert_eq!(w.index(), (byte / 8) as usize);
+        }
+    }
+
+    #[test]
+    fn addr_offset_wraps_safely() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a.offset(1).raw(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(CoreId(7).to_string(), "core7");
+        assert_eq!(BlockAddr::containing(Addr::new(0x80), 64).to_string(), "blk:0x80");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_block_size_panics() {
+        let _ = BlockAddr::containing(Addr::new(0), 48);
+    }
+}

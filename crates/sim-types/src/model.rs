@@ -1,0 +1,177 @@
+//! Memory consistency models and store-buffer organizations (Figure 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The three classes of memory consistency model evaluated by the paper.
+///
+/// * [`ConsistencyModel::Sc`] — Sequential Consistency: no reordering visible.
+/// * [`ConsistencyModel::Tso`] — Total Store Order (SPARC TSO / x86-like
+///   processor consistency): store→load order relaxed.
+/// * [`ConsistencyModel::Rmo`] — Relaxed Memory Order (SPARC RMO /
+///   PowerPC/ARM-like release consistency): all orderings relaxed except at
+///   explicit fences.
+///
+/// # Example
+/// ```
+/// use ifence_types::ConsistencyModel;
+/// assert!(ConsistencyModel::Sc.is_stronger_than(ConsistencyModel::Tso));
+/// assert_eq!("tso".parse::<ConsistencyModel>().unwrap(), ConsistencyModel::Tso);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ConsistencyModel {
+    /// Sequential consistency (e.g. MIPS).
+    Sc,
+    /// Total store order / processor consistency (e.g. SPARC TSO, x86).
+    Tso,
+    /// Relaxed memory order / release consistency (e.g. SPARC RMO, PowerPC, ARM, Alpha).
+    Rmo,
+}
+
+impl ConsistencyModel {
+    /// All models, strongest first.
+    pub const ALL: [ConsistencyModel; 3] =
+        [ConsistencyModel::Sc, ConsistencyModel::Tso, ConsistencyModel::Rmo];
+
+    /// Returns true if `self` imposes strictly more ordering than `other`.
+    pub fn is_stronger_than(self, other: ConsistencyModel) -> bool {
+        (self as u8) < (other as u8)
+    }
+
+    /// The orderings this model relaxes, as human-readable text (Figure 2,
+    /// "Memory Ordering Relaxations" column).
+    pub fn relaxations(self) -> &'static str {
+        match self {
+            ConsistencyModel::Sc => "None",
+            ConsistencyModel::Tso => "Store-to-load",
+            ConsistencyModel::Rmo => "All",
+        }
+    }
+
+    /// The store-buffer organization a conventional implementation of this
+    /// model uses (Figure 2, "Store Buffer Organization" column).
+    pub fn conventional_store_buffer(self) -> StoreBufferKind {
+        match self {
+            ConsistencyModel::Sc | ConsistencyModel::Tso => StoreBufferKind::FifoWord,
+            ConsistencyModel::Rmo => StoreBufferKind::CoalescingBlock,
+        }
+    }
+
+    /// Short lowercase label used in figure output ("sc", "tso", "rmo").
+    pub fn label(self) -> &'static str {
+        match self {
+            ConsistencyModel::Sc => "sc",
+            ConsistencyModel::Tso => "tso",
+            ConsistencyModel::Rmo => "rmo",
+        }
+    }
+}
+
+impl fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`ConsistencyModel`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError(String);
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown consistency model `{}` (expected sc, tso, or rmo)", self.0)
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
+impl FromStr for ConsistencyModel {
+    type Err = ParseModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sc" => Ok(ConsistencyModel::Sc),
+            "tso" | "pc" => Ok(ConsistencyModel::Tso),
+            "rmo" | "rc" => Ok(ConsistencyModel::Rmo),
+            other => Err(ParseModelError(other.to_string())),
+        }
+    }
+}
+
+/// Store-buffer organizations used by the implementations in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StoreBufferKind {
+    /// Age-ordered FIFO at 8-byte word granularity, fully-associatively
+    /// searched for store→load forwarding (conventional SC and TSO).
+    FifoWord,
+    /// Unordered coalescing buffer at 64-byte block granularity, sized to the
+    /// number of outstanding store misses (conventional RMO and InvisiFence).
+    CoalescingBlock,
+    /// ASO's Scalable Store Buffer: per-store FIFO that does not forward to
+    /// loads and drains into the L2 at commit.
+    Scalable,
+}
+
+impl StoreBufferKind {
+    /// Granularity of one entry in bytes (8 for word FIFO buffers, 64 for
+    /// block-granularity buffers).
+    pub fn entry_granularity_bytes(self) -> usize {
+        match self {
+            StoreBufferKind::FifoWord | StoreBufferKind::Scalable => 8,
+            StoreBufferKind::CoalescingBlock => 64,
+        }
+    }
+}
+
+impl fmt::Display for StoreBufferKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StoreBufferKind::FifoWord => "FIFO (word)",
+            StoreBufferKind::CoalescingBlock => "coalescing (block)",
+            StoreBufferKind::Scalable => "scalable (SSB)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strength_ordering() {
+        assert!(ConsistencyModel::Sc.is_stronger_than(ConsistencyModel::Tso));
+        assert!(ConsistencyModel::Tso.is_stronger_than(ConsistencyModel::Rmo));
+        assert!(ConsistencyModel::Sc.is_stronger_than(ConsistencyModel::Rmo));
+        assert!(!ConsistencyModel::Rmo.is_stronger_than(ConsistencyModel::Sc));
+        assert!(!ConsistencyModel::Sc.is_stronger_than(ConsistencyModel::Sc));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for m in ConsistencyModel::ALL {
+            assert_eq!(m.label().parse::<ConsistencyModel>().unwrap(), m);
+        }
+        assert!("weird".parse::<ConsistencyModel>().is_err());
+        let err = "weird".parse::<ConsistencyModel>().unwrap_err();
+        assert!(err.to_string().contains("weird"));
+    }
+
+    #[test]
+    fn conventional_store_buffers_match_figure_2() {
+        assert_eq!(ConsistencyModel::Sc.conventional_store_buffer(), StoreBufferKind::FifoWord);
+        assert_eq!(ConsistencyModel::Tso.conventional_store_buffer(), StoreBufferKind::FifoWord);
+        assert_eq!(
+            ConsistencyModel::Rmo.conventional_store_buffer(),
+            StoreBufferKind::CoalescingBlock
+        );
+    }
+
+    #[test]
+    fn granularities() {
+        assert_eq!(StoreBufferKind::FifoWord.entry_granularity_bytes(), 8);
+        assert_eq!(StoreBufferKind::CoalescingBlock.entry_granularity_bytes(), 64);
+        assert_eq!(StoreBufferKind::Scalable.entry_granularity_bytes(), 8);
+    }
+}

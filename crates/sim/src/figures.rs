@@ -1,0 +1,298 @@
+//! Per-figure experiment drivers.
+//!
+//! Each `figure*` function runs the configurations a paper figure compares,
+//! over the given workloads, and returns both the raw [`RunSummary`] data and
+//! a printable [`ColumnTable`] whose rows mirror the figure. The benchmark
+//! harness (`crates/bench`) calls these with paper-scale parameters; the
+//! integration tests call them with [`ExperimentParams::quick_test`]-sized
+//! parameters and check the qualitative shape (who wins, what disappears).
+
+use crate::runner::{run_experiment, ExperimentParams};
+use ifence_stats::{ColumnTable, RunSummary};
+use ifence_types::{ConsistencyModel, CycleClass, EngineKind};
+use ifence_workloads::WorkloadSpec;
+
+/// The results of one figure: per-workload summaries for every configuration
+/// the figure compares, in figure order.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Which figure this is (e.g. "Figure 8").
+    pub figure: String,
+    /// Configuration labels, in bar order.
+    pub configs: Vec<String>,
+    /// `(workload, summaries)` where `summaries[i]` ran under `configs[i]`.
+    pub per_workload: Vec<(String, Vec<RunSummary>)>,
+}
+
+impl FigureData {
+    fn run(
+        figure: &str,
+        engines: &[EngineKind],
+        workloads: &[WorkloadSpec],
+        params: &ExperimentParams,
+    ) -> Self {
+        let mut per_workload = Vec::with_capacity(workloads.len());
+        for w in workloads {
+            let summaries: Vec<RunSummary> =
+                engines.iter().map(|e| run_experiment(*e, w, params)).collect();
+            per_workload.push((w.name.clone(), summaries));
+        }
+        FigureData {
+            figure: figure.to_string(),
+            configs: engines.iter().map(|e| e.label()).collect(),
+            per_workload,
+        }
+    }
+
+    /// The summary for (workload, config label), if present.
+    pub fn summary(&self, workload: &str, config: &str) -> Option<&RunSummary> {
+        let idx = self.configs.iter().position(|c| c == config)?;
+        self.per_workload
+            .iter()
+            .find(|(w, _)| w == workload)
+            .and_then(|(_, runs)| runs.get(idx))
+    }
+
+    /// Geometric-mean speedup of `config` over `baseline` across workloads.
+    pub fn mean_speedup(&self, config: &str, baseline: &str) -> f64 {
+        let mut product = 1.0_f64;
+        let mut count = 0usize;
+        for (w, _) in &self.per_workload {
+            if let (Some(run), Some(base)) = (self.summary(w, config), self.summary(w, baseline)) {
+                product *= run.speedup_over(base);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            product.powf(1.0 / count as f64)
+        }
+    }
+}
+
+const SELECTIVE_ENGINES: [EngineKind; 6] = [
+    EngineKind::Conventional(ConsistencyModel::Sc),
+    EngineKind::Conventional(ConsistencyModel::Tso),
+    EngineKind::Conventional(ConsistencyModel::Rmo),
+    EngineKind::InvisiSelective(ConsistencyModel::Sc),
+    EngineKind::InvisiSelective(ConsistencyModel::Tso),
+    EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+];
+
+/// Figure 1: ordering stalls (SB drain / SB full) in conventional SC, TSO and
+/// RMO, as a percentage of each configuration's execution time.
+pub fn figure1(workloads: &[WorkloadSpec], params: &ExperimentParams) -> (FigureData, ColumnTable) {
+    let engines = [
+        EngineKind::Conventional(ConsistencyModel::Sc),
+        EngineKind::Conventional(ConsistencyModel::Tso),
+        EngineKind::Conventional(ConsistencyModel::Rmo),
+    ];
+    let data = FigureData::run("Figure 1", &engines, workloads, params);
+    let mut table =
+        ColumnTable::new(["workload", "model", "SB drain %", "SB full %", "total ordering %"]);
+    for (workload, runs) in &data.per_workload {
+        for run in runs {
+            let drain = 100.0 * run.breakdown.fraction(CycleClass::SbDrain);
+            let full = 100.0 * run.breakdown.fraction(CycleClass::SbFull);
+            table.push_row([
+                workload.clone(),
+                run.config.clone(),
+                format!("{drain:.1}"),
+                format!("{full:.1}"),
+                format!("{:.1}", drain + full),
+            ]);
+        }
+    }
+    (data, table)
+}
+
+/// Runs the six configurations shared by Figures 8, 9 and 10 (conventional and
+/// InvisiFence-Selective variants of SC, TSO, RMO).
+pub fn selective_matrix(workloads: &[WorkloadSpec], params: &ExperimentParams) -> FigureData {
+    FigureData::run("Figures 8-10", &SELECTIVE_ENGINES, workloads, params)
+}
+
+/// Figure 8: speedups over conventional SC.
+pub fn figure8(data: &FigureData) -> ColumnTable {
+    let mut header = vec!["workload".to_string()];
+    header.extend(data.configs.iter().cloned());
+    let mut table = ColumnTable::new(header);
+    for (workload, runs) in &data.per_workload {
+        let baseline = &runs[0];
+        let mut row = vec![workload.clone()];
+        for run in runs {
+            row.push(format!("{:.3}", run.speedup_over(baseline)));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 9: runtime breakdown of each configuration, normalised to
+/// conventional SC (each cell is `total% | busy/other/full/drain/violation`).
+pub fn figure9(data: &FigureData) -> ColumnTable {
+    let mut table = ColumnTable::new([
+        "workload",
+        "config",
+        "runtime % of sc",
+        "Busy",
+        "Other",
+        "SB full",
+        "SB drain",
+        "Violation",
+    ]);
+    for (workload, runs) in &data.per_workload {
+        let baseline = &runs[0];
+        for run in runs {
+            let parts = run.normalized_breakdown(baseline);
+            table.push_row([
+                workload.clone(),
+                run.config.clone(),
+                format!("{:.1}", run.normalized_runtime(baseline)),
+                format!("{:.1}", parts[CycleClass::Busy.index()]),
+                format!("{:.1}", parts[CycleClass::Other.index()]),
+                format!("{:.1}", parts[CycleClass::SbFull.index()]),
+                format!("{:.1}", parts[CycleClass::SbDrain.index()]),
+                format!("{:.1}", parts[CycleClass::Violation.index()]),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 10: percentage of cycles each InvisiFence-Selective variant spends
+/// in speculation.
+pub fn figure10(data: &FigureData) -> ColumnTable {
+    let mut table = ColumnTable::new(["workload", "config", "% cycles speculating"]);
+    for (workload, runs) in &data.per_workload {
+        for run in runs {
+            if run.config.starts_with("Invisi") {
+                table.push_row([
+                    workload.clone(),
+                    run.config.clone(),
+                    format!("{:.1}", 100.0 * run.speculation_fraction),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Figure 11: ASOsc versus InvisiFence-SC with one and two checkpoints,
+/// runtime normalised to ASOsc.
+pub fn figure11(workloads: &[WorkloadSpec], params: &ExperimentParams) -> (FigureData, ColumnTable) {
+    let engines = [
+        EngineKind::Aso(ConsistencyModel::Sc),
+        EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        EngineKind::InvisiSelectiveTwoCkpt(ConsistencyModel::Sc),
+    ];
+    let data = FigureData::run("Figure 11", &engines, workloads, params);
+    let mut table =
+        ColumnTable::new(["workload", "config", "runtime % of ASOsc", "Violation %"]);
+    for (workload, runs) in &data.per_workload {
+        let baseline = &runs[0];
+        for run in runs {
+            let parts = run.normalized_breakdown(baseline);
+            table.push_row([
+                workload.clone(),
+                run.config.clone(),
+                format!("{:.1}", run.normalized_runtime(baseline)),
+                format!("{:.1}", parts[CycleClass::Violation.index()]),
+            ]);
+        }
+    }
+    (data, table)
+}
+
+/// Figure 12: conventional SC and RMO versus InvisiFence-Continuous (with and
+/// without commit-on-violate) and InvisiFence-RMO, normalised to SC.
+pub fn figure12(workloads: &[WorkloadSpec], params: &ExperimentParams) -> (FigureData, ColumnTable) {
+    let engines = [
+        EngineKind::Conventional(ConsistencyModel::Sc),
+        EngineKind::InvisiContinuous { commit_on_violate: false },
+        EngineKind::Conventional(ConsistencyModel::Rmo),
+        EngineKind::InvisiContinuous { commit_on_violate: true },
+        EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+    ];
+    let data = FigureData::run("Figure 12", &engines, workloads, params);
+    let mut table =
+        ColumnTable::new(["workload", "config", "runtime % of sc", "Violation %", "SB drain %"]);
+    for (workload, runs) in &data.per_workload {
+        let baseline = &runs[0];
+        for run in runs {
+            let parts = run.normalized_breakdown(baseline);
+            table.push_row([
+                workload.clone(),
+                run.config.clone(),
+                format!("{:.1}", run.normalized_runtime(baseline)),
+                format!("{:.1}", parts[CycleClass::Violation.index()]),
+                format!("{:.1}", parts[CycleClass::SbDrain.index()]),
+            ]);
+        }
+    }
+    (data, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifence_workloads::presets;
+
+    fn quick() -> ExperimentParams {
+        let mut p = ExperimentParams::quick_test();
+        p.instructions_per_core = 800;
+        p
+    }
+
+    fn one_workload() -> Vec<WorkloadSpec> {
+        vec![presets::barnes()]
+    }
+
+    #[test]
+    fn figure1_reports_percentages_per_model() {
+        let (data, table) = figure1(&one_workload(), &quick());
+        assert_eq!(data.configs, vec!["sc", "tso", "rmo"]);
+        assert_eq!(table.len(), 3);
+        let text = table.to_string();
+        assert!(text.contains("Barnes"));
+        assert!(text.contains("SB drain %"));
+    }
+
+    #[test]
+    fn selective_matrix_produces_all_six_configs_and_speedups() {
+        let data = selective_matrix(&one_workload(), &quick());
+        assert_eq!(data.configs.len(), 6);
+        let fig8 = figure8(&data);
+        let fig9 = figure9(&data);
+        let fig10 = figure10(&data);
+        assert_eq!(fig8.len(), 1);
+        assert_eq!(fig9.len(), 6);
+        assert_eq!(fig10.len(), 3, "one row per InvisiFence variant");
+        // SC speedup over itself is exactly 1.0.
+        let sc = data.summary("Barnes", "sc").unwrap();
+        assert!((sc.speedup_over(sc) - 1.0).abs() < 1e-12);
+        // Every configuration completed the same architectural work.
+        for (_, runs) in &data.per_workload {
+            for run in runs {
+                assert!(run.counters.instructions_retired > 0);
+            }
+        }
+        assert!(data.mean_speedup("Invisi_sc", "sc") > 0.0);
+        assert!(data.summary("Barnes", "nonexistent").is_none());
+    }
+
+    #[test]
+    fn figure11_and_figure12_tables_have_expected_rows() {
+        let p = quick();
+        let (data11, table11) = figure11(&one_workload(), &p);
+        assert_eq!(data11.configs, vec!["ASOsc", "Invisi_sc", "Invisi_sc-2ckpt"]);
+        assert_eq!(table11.len(), 3);
+        let (data12, table12) = figure12(&one_workload(), &p);
+        assert_eq!(
+            data12.configs,
+            vec!["sc", "Invisi_cont", "rmo", "Invisi_cont_CoV", "Invisi_rmo"]
+        );
+        assert_eq!(table12.len(), 5);
+    }
+}

@@ -1,0 +1,43 @@
+//! Full-machine assembly and experiment runner.
+//!
+//! This crate glues the substrates together into the paper's evaluated
+//! system: a 16-node directory-based multiprocessor in which each node runs a
+//! trace-driven out-of-order core under a configurable ordering engine
+//! (conventional SC/TSO/RMO, InvisiFence-Selective, InvisiFence-Continuous,
+//! or ASO).
+//!
+//! * [`Machine`] — builds the cores and the coherence fabric from a
+//!   [`ifence_types::MachineConfig`] and a set of per-core programs, and runs
+//!   them cycle by cycle until every core finishes.
+//! * [`runner`] — convenience functions that run one workload under one
+//!   engine and return a [`ifence_stats::RunSummary`]; experiment sizes are
+//!   controlled by [`runner::ExperimentParams`] (override with the
+//!   `IFENCE_INSTRS` / `IFENCE_SEED` environment variables).
+//! * [`figures`] — the per-figure experiment drivers that regenerate every
+//!   result figure of the paper (Figures 1, 8, 9, 10, 11, 12) as data plus a
+//!   printable table.
+//!
+//! # Example
+//!
+//! ```
+//! use ifence_sim::Machine;
+//! use ifence_types::{ConsistencyModel, EngineKind, MachineConfig};
+//! use ifence_workloads::WorkloadSpec;
+//!
+//! let cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Tso));
+//! let programs = WorkloadSpec::uniform("demo").generate(cfg.cores, 500, 1);
+//! let mut machine = Machine::new(cfg, programs).unwrap();
+//! let result = machine.run(2_000_000);
+//! assert!(result.finished);
+//! assert!(result.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod machine;
+pub mod runner;
+
+pub use machine::{Machine, MachineResult};
+pub use runner::{run_experiment, run_litmus, ExperimentParams};

@@ -1,0 +1,240 @@
+//! The simulated multiprocessor: cores plus coherence fabric.
+
+use ifence_coherence::{CoherenceFabric, FabricConfig};
+use ifence_cpu::Core;
+use ifence_stats::{CoreStats, RunSummary};
+use ifence_types::{CoreId, Cycle, MachineConfig, Program};
+use invisifence::build_engine;
+use std::fmt;
+
+/// Error returned when a machine cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineBuildError {
+    message: String,
+}
+
+impl fmt::Display for MachineBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot build machine: {}", self.message)
+    }
+}
+
+impl std::error::Error for MachineBuildError {}
+
+/// The outcome of running a [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineResult {
+    /// Total simulated cycles (wall clock: until the slowest core finished).
+    pub cycles: Cycle,
+    /// True if every core retired its whole program before the cycle limit.
+    pub finished: bool,
+    /// Per-core statistics.
+    pub per_core: Vec<CoreStats>,
+    /// Values observed by each core's retired loads (for litmus checking).
+    pub load_results: Vec<Vec<(usize, u64)>>,
+    /// The configuration label (engine name) the machine ran under.
+    pub config_label: String,
+}
+
+impl MachineResult {
+    /// Summarises the run for figure production.
+    pub fn summary(&self, workload: impl Into<String>) -> RunSummary {
+        RunSummary::from_cores(self.config_label.clone(), workload, self.cycles, &self.per_core)
+    }
+}
+
+/// A complete simulated multiprocessor: one core per node plus the directory
+/// coherence fabric, all driven from a single cycle loop.
+pub struct Machine {
+    cfg: MachineConfig,
+    cores: Vec<Core>,
+    fabric: CoherenceFabric,
+    now: Cycle,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration and one program per core.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid or the number of
+    /// programs does not match the number of cores.
+    pub fn new(cfg: MachineConfig, programs: Vec<Program>) -> Result<Self, MachineBuildError> {
+        cfg.validate().map_err(|e| MachineBuildError { message: e.to_string() })?;
+        if programs.len() != cfg.cores {
+            return Err(MachineBuildError {
+                message: format!("{} programs provided for {} cores", programs.len(), cfg.cores),
+            });
+        }
+        let fabric = CoherenceFabric::new(FabricConfig::from_machine(&cfg));
+        let cores = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, program)| {
+                Core::new(CoreId(i), program, &cfg, build_engine(cfg.engine, &cfg))
+            })
+            .collect();
+        Ok(Machine { cfg, cores, fabric, now: 0 })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Access to a core (diagnostics/tests).
+    pub fn core(&self, index: usize) -> &Core {
+        &self.cores[index]
+    }
+
+    /// Initialises a memory word in the backing store (litmus tests).
+    pub fn write_memory_word(&mut self, addr: ifence_types::Addr, value: u64) {
+        self.fabric.write_memory_word(addr, value);
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        // Deliver coherence messages due this cycle and collect the cores'
+        // snoop replies.
+        for delivery in self.fabric.step(now) {
+            let idx = delivery.core().index();
+            if let Some(reply) = self.cores[idx].handle_delivery(delivery, now) {
+                self.fabric.respond(reply, now);
+            }
+        }
+        // Step every core, then route its asynchronous replies and new
+        // requests into the fabric.
+        for core in &mut self.cores {
+            core.step(now);
+            for reply in core.take_replies() {
+                self.fabric.respond(reply, now);
+            }
+            for request in core.take_requests() {
+                self.fabric.request(request, now);
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Returns true once every core has finished its program (and drained).
+    pub fn all_finished(&self) -> bool {
+        self.cores.iter().all(|c| c.finished())
+    }
+
+    /// Runs until every core finishes or `max_cycles` elapse, then finalises
+    /// statistics and returns the result.
+    pub fn run(&mut self, max_cycles: Cycle) -> MachineResult {
+        while self.now < max_cycles && !self.all_finished() {
+            self.step();
+        }
+        let finished = self.all_finished();
+        for core in &mut self.cores {
+            core.finalize();
+        }
+        MachineResult {
+            cycles: self.now,
+            finished,
+            per_core: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            load_results: self.cores.iter().map(|c| c.load_results().to_vec()).collect(),
+            config_label: self.cfg.engine.label(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifence_types::{ConsistencyModel, CycleClass, EngineKind};
+    use ifence_workloads::WorkloadSpec;
+
+    fn small_run(engine: EngineKind, instructions: usize) -> MachineResult {
+        let cfg = MachineConfig::small_test(engine);
+        let programs = WorkloadSpec::uniform("machine-test").generate(cfg.cores, instructions, 3);
+        let mut machine = Machine::new(cfg, programs).unwrap();
+        machine.run(5_000_000)
+    }
+
+    #[test]
+    fn rejects_mismatched_program_count() {
+        let cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
+        let err = Machine::new(cfg, vec![Program::default()]).err().expect("must be rejected");
+        assert!(err.to_string().contains("programs"));
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
+        cfg.cores = 3; // does not match the 2x2 torus
+        let programs = vec![Program::default(); 3];
+        assert!(Machine::new(cfg, programs).is_err());
+    }
+
+    #[test]
+    fn conventional_machines_run_to_completion() {
+        for model in ConsistencyModel::ALL {
+            let result = small_run(EngineKind::Conventional(model), 800);
+            assert!(result.finished, "{model} did not finish");
+            assert_eq!(result.per_core.len(), 4);
+            for core in &result.per_core {
+                assert!(core.counters.instructions_retired >= 800);
+                assert!(core.breakdown.total() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_machines_run_to_completion() {
+        for engine in [
+            EngineKind::InvisiSelective(ConsistencyModel::Sc),
+            EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+            EngineKind::InvisiContinuous { commit_on_violate: false },
+            EngineKind::InvisiContinuous { commit_on_violate: true },
+            EngineKind::Aso(ConsistencyModel::Sc),
+        ] {
+            let result = small_run(engine, 600);
+            assert!(result.finished, "{} did not finish", engine.label());
+            assert_eq!(result.config_label, engine.label());
+        }
+    }
+
+    #[test]
+    fn invisifence_reduces_ordering_stalls_versus_conventional_sc() {
+        let conventional = small_run(EngineKind::Conventional(ConsistencyModel::Sc), 1_500);
+        let invisi = small_run(EngineKind::InvisiSelective(ConsistencyModel::Sc), 1_500);
+        assert!(conventional.finished && invisi.finished);
+        let summary_conv = conventional.summary("uniform");
+        let summary_inv = invisi.summary("uniform");
+        let conv_penalty = summary_conv.breakdown.get(CycleClass::SbDrain)
+            + summary_conv.breakdown.get(CycleClass::SbFull);
+        let inv_penalty = summary_inv.breakdown.get(CycleClass::SbDrain)
+            + summary_inv.breakdown.get(CycleClass::SbFull);
+        assert!(
+            inv_penalty * 2 < conv_penalty.max(1),
+            "InvisiFence should remove most ordering stalls (conventional {conv_penalty}, InvisiFence {inv_penalty})"
+        );
+        // On this deliberately tiny (4-core, 8 KB L1) machine the violation
+        // rate is far higher than at paper scale, so only require that
+        // InvisiFence stays in the same performance neighbourhood here; the
+        // paper-scale comparison is produced by the benchmark harness.
+        assert!(
+            (summary_inv.cycles as f64) <= 1.35 * summary_conv.cycles as f64,
+            "InvisiFence-SC should not be drastically slower than conventional SC ({} vs {})",
+            summary_inv.cycles,
+            summary_conv.cycles
+        );
+    }
+
+    #[test]
+    fn summary_reports_workload_and_config() {
+        let result = small_run(EngineKind::Conventional(ConsistencyModel::Tso), 400);
+        let summary = result.summary("Apache");
+        assert_eq!(summary.workload, "Apache");
+        assert_eq!(summary.config, "tso");
+        assert_eq!(summary.cycles, result.cycles);
+    }
+}

@@ -1,0 +1,155 @@
+//! Convenience runners: one workload × one configuration → one summary.
+
+use crate::machine::Machine;
+use ifence_stats::RunSummary;
+use ifence_types::{EngineKind, MachineConfig};
+use ifence_workloads::{LitmusTest, WorkloadSpec};
+
+/// Parameters of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentParams {
+    /// Instructions per core (the paper samples 10–30 s of execution; this
+    /// reproduction uses trace length as the budget knob).
+    pub instructions_per_core: usize,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Safety limit on simulated cycles.
+    pub max_cycles: u64,
+    /// Use the full 16-core paper machine (`true`) or the reduced 4-core test
+    /// machine (`false`).
+    pub full_machine: bool,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams {
+            instructions_per_core: 20_000,
+            seed: 0x1F3C_E5EE,
+            max_cycles: 200_000_000,
+            full_machine: true,
+        }
+    }
+}
+
+impl ExperimentParams {
+    /// Parameters for the benchmark harness: the paper-scale machine, with the
+    /// trace length and seed overridable through the `IFENCE_INSTRS` and
+    /// `IFENCE_SEED` environment variables.
+    pub fn from_env() -> Self {
+        let mut params = ExperimentParams::default();
+        if let Ok(v) = std::env::var("IFENCE_INSTRS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                params.instructions_per_core = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("IFENCE_SEED") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                params.seed = n;
+            }
+        }
+        params
+    }
+
+    /// Small parameters for unit/integration tests (4-core machine, short
+    /// traces).
+    pub fn quick_test() -> Self {
+        ExperimentParams {
+            instructions_per_core: 1_200,
+            seed: 7,
+            max_cycles: 20_000_000,
+            full_machine: false,
+        }
+    }
+
+    fn config_for(&self, engine: EngineKind) -> MachineConfig {
+        let mut cfg = if self.full_machine {
+            MachineConfig::with_engine(engine)
+        } else {
+            MachineConfig::small_test(engine)
+        };
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// Runs `workload` under the given ordering engine and returns the summary.
+///
+/// # Panics
+/// Panics if the machine cannot be constructed from the derived configuration
+/// (which would indicate an internal configuration bug, not user error).
+pub fn run_experiment(
+    engine: EngineKind,
+    workload: &WorkloadSpec,
+    params: &ExperimentParams,
+) -> RunSummary {
+    let cfg = params.config_for(engine);
+    let programs = workload.generate(cfg.cores, params.instructions_per_core, params.seed);
+    let mut machine = Machine::new(cfg, programs).expect("derived configuration is valid");
+    let result = machine.run(params.max_cycles);
+    result.summary(workload.name.clone())
+}
+
+/// Runs a two-core litmus test under the given engine and returns the number
+/// of forbidden outcomes observed (0 means the consistency model was
+/// enforced).
+pub fn run_litmus(engine: EngineKind, test: &LitmusTest, max_cycles: u64) -> usize {
+    let mut cfg = MachineConfig::small_test(engine);
+    // Litmus tests use two active cores; pad with empty programs for the rest.
+    let mut programs = test.programs().to_vec();
+    while programs.len() < cfg.cores {
+        programs.push(ifence_types::Program::new());
+    }
+    cfg.seed = 1;
+    let mut machine = Machine::new(cfg, programs).expect("litmus configuration is valid");
+    let result = machine.run(max_cycles);
+    assert!(result.finished, "litmus run hit the cycle limit");
+    test.count_forbidden(&result.load_results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifence_types::ConsistencyModel;
+    use ifence_workloads::presets;
+
+    #[test]
+    fn default_params_use_paper_machine() {
+        let p = ExperimentParams::default();
+        assert!(p.full_machine);
+        assert!(p.instructions_per_core >= 10_000);
+    }
+
+    #[test]
+    fn quick_params_run_a_real_experiment() {
+        let params = ExperimentParams::quick_test();
+        let summary = run_experiment(
+            EngineKind::Conventional(ConsistencyModel::Tso),
+            &presets::barnes(),
+            &params,
+        );
+        assert_eq!(summary.config, "tso");
+        assert_eq!(summary.workload, "Barnes");
+        assert!(summary.cycles > 0);
+        assert!(summary.counters.instructions_retired > 0);
+    }
+
+    #[test]
+    fn env_override_parses() {
+        // Only checks the parsing path is robust to garbage.
+        std::env::set_var("IFENCE_INSTRS", "123");
+        std::env::set_var("IFENCE_SEED", "garbage");
+        let p = ExperimentParams::from_env();
+        assert_eq!(p.instructions_per_core, 123);
+        assert_eq!(p.seed, ExperimentParams::default().seed);
+        std::env::remove_var("IFENCE_INSTRS");
+        std::env::remove_var("IFENCE_SEED");
+    }
+
+    #[test]
+    fn litmus_under_conventional_sc_has_no_forbidden_outcomes() {
+        let test = ifence_workloads::LitmusTest::store_buffering(20, false);
+        let forbidden =
+            run_litmus(EngineKind::Conventional(ConsistencyModel::Sc), &test, 10_000_000);
+        assert_eq!(forbidden, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cycle accounting and result reporting for the InvisiFence reproduction.
+//!
+//! The paper reports three kinds of quantity, all produced by this crate:
+//!
+//! * **Runtime breakdowns** (Figures 9, 11, 12): every simulated cycle is
+//!   attributed to exactly one [`CycleClass`] bucket via [`CycleBreakdown`].
+//!   Speculative cycles are accounted provisionally and re-attributed to the
+//!   `Violation` bucket if the speculation aborts
+//!   ([`breakdown::ProvisionalBreakdown`]).
+//! * **Event counters** (speculations started/committed/aborted, store-buffer
+//!   occupancy, cache misses, …) via [`SimCounters`].
+//! * **Derived figures** — speedups, normalized breakdowns, percent-of-time
+//!   metrics and confidence intervals over multiple seeds — via [`report`].
+//!
+//! # Example
+//!
+//! ```
+//! use ifence_stats::CycleBreakdown;
+//! use ifence_types::CycleClass;
+//!
+//! let mut b = CycleBreakdown::new();
+//! b.add(CycleClass::Busy, 70);
+//! b.add(CycleClass::SbDrain, 30);
+//! assert_eq!(b.total(), 100);
+//! assert!((b.fraction(CycleClass::SbDrain) - 0.3).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod counters;
+pub mod report;
+
+pub use breakdown::{CycleBreakdown, ProvisionalBreakdown};
+pub use counters::SimCounters;
+pub use report::{confidence_interval_95, mean, ColumnTable, RunSummary};
+
+use ifence_types::CycleClass;
+
+/// Per-core statistics gathered during one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreStats {
+    /// Cycle-by-cycle attribution.
+    pub breakdown: CycleBreakdown,
+    /// Event counters.
+    pub counters: SimCounters,
+}
+
+impl CoreStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another core's statistics into this one (used to aggregate a
+    /// whole machine).
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.breakdown.merge(&other.breakdown);
+        self.counters.merge(&other.counters);
+    }
+
+    /// Fraction of cycles spent in post-retirement speculation
+    /// (committed or aborted) — the quantity plotted in Figure 10.
+    pub fn speculation_fraction(&self) -> f64 {
+        let total = self.breakdown.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counters.cycles_speculating as f64 / total as f64
+    }
+
+    /// Fraction of cycles lost to memory-ordering penalties
+    /// (SB full + SB drain + Violation) — the quantity plotted in Figure 1.
+    pub fn ordering_penalty_fraction(&self) -> f64 {
+        let total = self.breakdown.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let penalty: u64 = CycleClass::ALL
+            .iter()
+            .filter(|c| c.is_ordering_penalty())
+            .map(|c| self.breakdown.get(*c))
+            .sum();
+        penalty as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_stats_merge_adds_both_parts() {
+        let mut a = CoreStats::new();
+        a.breakdown.add(CycleClass::Busy, 10);
+        a.counters.instructions_retired = 5;
+        let mut b = CoreStats::new();
+        b.breakdown.add(CycleClass::SbFull, 4);
+        b.counters.instructions_retired = 7;
+        a.merge(&b);
+        assert_eq!(a.breakdown.total(), 14);
+        assert_eq!(a.counters.instructions_retired, 12);
+    }
+
+    #[test]
+    fn penalty_fraction_counts_only_ordering_buckets() {
+        let mut s = CoreStats::new();
+        s.breakdown.add(CycleClass::Busy, 50);
+        s.breakdown.add(CycleClass::Other, 25);
+        s.breakdown.add(CycleClass::SbDrain, 15);
+        s.breakdown.add(CycleClass::Violation, 10);
+        assert!((s.ordering_penalty_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = CoreStats::new();
+        assert_eq!(s.speculation_fraction(), 0.0);
+        assert_eq!(s.ordering_penalty_fraction(), 0.0);
+    }
+}

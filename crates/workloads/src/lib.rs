@@ -1,0 +1,41 @@
+//! Synthetic workloads approximating the paper's evaluation suite (Figure 7),
+//! plus litmus-test programs for checking consistency enforcement.
+//!
+//! The original evaluation runs full-system traces of Apache, Zeus, Oracle,
+//! DB2 and SPLASH-2 codes; those binaries and traces are not available, so
+//! this crate generates seeded synthetic instruction traces whose
+//! memory-operation statistics (synchronisation frequency, store burstiness,
+//! sharing, working-set size) are chosen per workload so that the conventional
+//! SC/TSO/RMO baselines reproduce the ordering-stall profile of Figure 1.
+//! The substitution is documented in `DESIGN.md`.
+//!
+//! * [`WorkloadSpec`] — the tunable statistical model of one workload.
+//! * [`presets`] — one preset per paper workload (Apache, Zeus, OLTP-Oracle,
+//!   OLTP-DB2, DSS-DB2, Barnes, Ocean).
+//! * [`litmus`] — message-passing and store-buffering (Dekker) litmus tests
+//!   whose forbidden outcomes must never appear under SC enforcement.
+//!
+//! # Example
+//!
+//! ```
+//! use ifence_workloads::presets;
+//!
+//! let apache = presets::apache();
+//! let programs = apache.generate(4, 2_000, 42);
+//! assert_eq!(programs.len(), 4);
+//! assert!(programs[0].len() >= 2_000);
+//! // Generation is deterministic for a given seed.
+//! assert_eq!(programs, apache.generate(4, 2_000, 42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod litmus;
+pub mod presets;
+pub mod spec;
+
+pub use litmus::{LitmusKind, LitmusTest};
+pub use presets::{all_presets, by_name};
+pub use spec::WorkloadSpec;

@@ -1,0 +1,219 @@
+//! Litmus-test program builders.
+//!
+//! These tests check that a consistency implementation *enforces* its model —
+//! the functional counterpart of the paper's claim that speculation never
+//! becomes architecturally visible. Each test repeats a classic two-thread
+//! pattern many times, each iteration on fresh addresses, and a checker counts
+//! outcomes that sequential consistency forbids:
+//!
+//! * **Message passing (MP)** — writer: `data = 1; flag = 1`; reader:
+//!   `r1 = flag; r2 = data`. Forbidden: `r1 == 1 && r2 == 0`.
+//! * **Store buffering (SB / Dekker)** — core 0: `x = 1; r0 = y`; core 1:
+//!   `y = 1; r1 = x`. Forbidden: `r0 == 0 && r1 == 0`.
+//!
+//! With `fenced` set, a full fence is inserted between the two accesses of
+//! each thread, making the forbidden outcome illegal under RMO as well.
+
+use ifence_types::{Addr, Instruction, Program};
+
+const BLOCK: u64 = 64;
+/// Base address of the litmus data region (distinct from workload regions).
+pub const LITMUS_BASE: u64 = 0x7000_0000;
+
+/// Which litmus pattern a test instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitmusKind {
+    /// Message passing (load→load vs store→store ordering).
+    MessagePassing,
+    /// Store buffering / Dekker (store→load ordering).
+    StoreBuffering,
+}
+
+/// The loads whose values decide one iteration's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Observation {
+    /// (core, program index) of the first observed load.
+    first: (usize, usize),
+    /// (core, program index) of the second observed load.
+    second: (usize, usize),
+}
+
+/// A multi-core litmus test: per-core programs plus a forbidden-outcome checker.
+#[derive(Debug, Clone)]
+pub struct LitmusTest {
+    kind: LitmusKind,
+    iterations: usize,
+    programs: Vec<Program>,
+    observations: Vec<Observation>,
+}
+
+impl LitmusTest {
+    /// Builds a message-passing test with the given number of iterations.
+    /// When `fenced` is true a full fence separates the writer's two stores
+    /// and the reader's two loads.
+    pub fn message_passing(iterations: usize, fenced: bool) -> Self {
+        let mut writer = Program::new();
+        let mut reader = Program::new();
+        let mut observations = Vec::with_capacity(iterations);
+        for i in 0..iterations as u64 {
+            let data = Addr::new(LITMUS_BASE + i * 2 * BLOCK);
+            let flag = Addr::new(LITMUS_BASE + (i * 2 + 1) * BLOCK);
+            writer.push(Instruction::store(data, 1));
+            if fenced {
+                writer.push(Instruction::fence());
+            }
+            writer.push(Instruction::store(flag, 1));
+            // A little padding desynchronises the iterations across cores.
+            writer.push(Instruction::op(2));
+
+            let flag_idx = reader.len();
+            reader.push(Instruction::load(flag));
+            if fenced {
+                reader.push(Instruction::fence());
+            }
+            let data_idx = reader.len();
+            reader.push(Instruction::load(data));
+            reader.push(Instruction::op(1));
+            observations.push(Observation { first: (1, flag_idx), second: (1, data_idx) });
+        }
+        LitmusTest {
+            kind: LitmusKind::MessagePassing,
+            iterations,
+            programs: vec![writer, reader],
+            observations,
+        }
+    }
+
+    /// Builds a store-buffering (Dekker) test with the given number of
+    /// iterations. When `fenced` is true a full fence separates each core's
+    /// store from its subsequent load.
+    pub fn store_buffering(iterations: usize, fenced: bool) -> Self {
+        let mut core0 = Program::new();
+        let mut core1 = Program::new();
+        let mut observations = Vec::with_capacity(iterations);
+        for i in 0..iterations as u64 {
+            let x = Addr::new(LITMUS_BASE + i * 2 * BLOCK);
+            let y = Addr::new(LITMUS_BASE + (i * 2 + 1) * BLOCK);
+
+            core0.push(Instruction::store(x, 1));
+            if fenced {
+                core0.push(Instruction::fence());
+            }
+            let r0_idx = core0.len();
+            core0.push(Instruction::load(y));
+            core0.push(Instruction::op(2));
+
+            core1.push(Instruction::store(y, 1));
+            if fenced {
+                core1.push(Instruction::fence());
+            }
+            let r1_idx = core1.len();
+            core1.push(Instruction::load(x));
+            core1.push(Instruction::op(2));
+
+            observations.push(Observation { first: (0, r0_idx), second: (1, r1_idx) });
+        }
+        LitmusTest {
+            kind: LitmusKind::StoreBuffering,
+            iterations,
+            programs: vec![core0, core1],
+            observations,
+        }
+    }
+
+    /// The litmus pattern.
+    pub fn kind(&self) -> LitmusKind {
+        self.kind
+    }
+
+    /// Number of iterations (independent instances of the pattern).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The per-core programs (always two cores).
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// Counts forbidden outcomes given each core's retired-load observations
+    /// (`(program_index, value)` pairs, as produced by the core model).
+    ///
+    /// Missing observations (a load index not present in the results) make the
+    /// iteration count as forbidden, so an incomplete run cannot masquerade as
+    /// a correct one.
+    pub fn count_forbidden(&self, results: &[Vec<(usize, u64)>]) -> usize {
+        let value_of = |core: usize, index: usize| -> Option<u64> {
+            results
+                .get(core)?
+                .iter()
+                .find(|(i, _)| *i == index)
+                .map(|(_, v)| *v)
+        };
+        self.observations
+            .iter()
+            .filter(|obs| {
+                let first = value_of(obs.first.0, obs.first.1);
+                let second = value_of(obs.second.0, obs.second.1);
+                match (self.kind, first, second) {
+                    (LitmusKind::MessagePassing, Some(flag), Some(data)) => flag == 1 && data == 0,
+                    (LitmusKind::StoreBuffering, Some(r0), Some(r1)) => r0 == 0 && r1 == 0,
+                    _ => true,
+                }
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifence_types::InstrKind;
+
+    #[test]
+    fn message_passing_structure() {
+        let t = LitmusTest::message_passing(10, false);
+        assert_eq!(t.kind(), LitmusKind::MessagePassing);
+        assert_eq!(t.iterations(), 10);
+        assert_eq!(t.programs().len(), 2);
+        assert_eq!(t.programs()[0].iter().filter(|i| i.kind.writes_memory()).count(), 20);
+        assert_eq!(t.programs()[1].iter().filter(|i| i.kind.reads_memory()).count(), 20);
+    }
+
+    #[test]
+    fn fenced_variants_contain_fences() {
+        let plain = LitmusTest::store_buffering(5, false);
+        let fenced = LitmusTest::store_buffering(5, true);
+        assert_eq!(plain.programs()[0].fence_count(), 0);
+        assert_eq!(fenced.programs()[0].fence_count(), 5);
+        assert!(fenced.programs()[1].iter().any(|i| matches!(i.kind, InstrKind::Fence(_))));
+    }
+
+    #[test]
+    fn checker_counts_forbidden_mp_outcomes() {
+        let t = LitmusTest::message_passing(2, false);
+        // Reconstruct the observation indexes: the reader's trace per
+        // iteration is [load flag, load data, op], so flag loads sit at 0 and
+        // 3 and data loads at 1 and 4 (no fences).
+        let ok = vec![Vec::new(), vec![(0, 1), (1, 1), (3, 0), (4, 0)]];
+        assert_eq!(t.count_forbidden(&ok), 0, "flag=1,data=1 and flag=0,data=0 are allowed");
+        let bad = vec![Vec::new(), vec![(0, 1), (1, 0), (3, 1), (4, 1)]];
+        assert_eq!(t.count_forbidden(&bad), 1, "flag=1,data=0 is forbidden");
+    }
+
+    #[test]
+    fn checker_counts_forbidden_sb_outcomes() {
+        let t = LitmusTest::store_buffering(1, false);
+        let allowed = vec![vec![(1, 1)], vec![(1, 0)]];
+        assert_eq!(t.count_forbidden(&allowed), 0);
+        let forbidden = vec![vec![(1, 0)], vec![(1, 0)]];
+        assert_eq!(t.count_forbidden(&forbidden), 1);
+    }
+
+    #[test]
+    fn missing_observations_count_as_forbidden() {
+        let t = LitmusTest::store_buffering(3, false);
+        let empty: Vec<Vec<(usize, u64)>> = vec![Vec::new(), Vec::new()];
+        assert_eq!(t.count_forbidden(&empty), 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Workload presets approximating Figure 7's evaluation suite.
+//!
+//! The parameter choices encode the qualitative characteristics the paper
+//! relies on: the web and OLTP workloads synchronise frequently through
+//! fine-grained locks (so conventional RMO still pays fence/atomic stalls,
+//! Figure 1), DSS is scan-dominated with little synchronisation, and the two
+//! scientific codes have large private working sets with very little locking
+//! (so RMO ≈ TSO for them and RMO incurs essentially no ordering stalls).
+
+use crate::spec::WorkloadSpec;
+
+/// Apache web server: 16 K connections, worker threading — lock-heavy with
+/// bursty stores and substantial sharing.
+pub fn apache() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Apache".to_string(),
+        description: "Web server: 16K connections, fastCGI, worker threading model".to_string(),
+        default_instructions: 30_000,
+        mem_fraction: 0.38,
+        store_fraction: 0.34,
+        critical_section_rate: 0.006,
+        critical_section_len: 10,
+        locks: 768,
+        shared_fraction: 0.35,
+        shared_blocks: 4096,
+        private_blocks: 3072,
+        store_burst_rate: 0.010,
+        store_burst_len: 8,
+        fence_rate: 0.003,
+    }
+}
+
+/// Zeus web server: similar to Apache with slightly less locking and more
+/// store burstiness.
+pub fn zeus() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Zeus".to_string(),
+        description: "Web server: 16K connections, fastCGI".to_string(),
+        default_instructions: 30_000,
+        mem_fraction: 0.36,
+        store_fraction: 0.32,
+        critical_section_rate: 0.005,
+        critical_section_len: 8,
+        locks: 1024,
+        shared_fraction: 0.30,
+        shared_blocks: 4096,
+        private_blocks: 3072,
+        store_burst_rate: 0.012,
+        store_burst_len: 10,
+        fence_rate: 0.004,
+    }
+}
+
+/// TPC-C on Oracle: fine-grained locking over a large shared buffer pool.
+pub fn oltp_oracle() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "OLTP-Oracle".to_string(),
+        description: "TPC-C: 100 warehouses (10 GB), 16 clients, 1.4 GB SGA".to_string(),
+        default_instructions: 30_000,
+        mem_fraction: 0.40,
+        store_fraction: 0.30,
+        critical_section_rate: 0.005,
+        critical_section_len: 14,
+        locks: 1024,
+        shared_fraction: 0.40,
+        shared_blocks: 6144,
+        private_blocks: 2048,
+        store_burst_rate: 0.006,
+        store_burst_len: 6,
+        fence_rate: 0.002,
+    }
+}
+
+/// TPC-C on DB2: like Oracle with more clients and somewhat burstier stores.
+pub fn oltp_db2() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "OLTP-DB2".to_string(),
+        description: "TPC-C: 100 warehouses (10 GB), 64 clients, 450 MB buffer pool".to_string(),
+        default_instructions: 30_000,
+        mem_fraction: 0.40,
+        store_fraction: 0.32,
+        critical_section_rate: 0.006,
+        critical_section_len: 12,
+        locks: 896,
+        shared_fraction: 0.38,
+        shared_blocks: 6144,
+        private_blocks: 2048,
+        store_burst_rate: 0.008,
+        store_burst_len: 7,
+        fence_rate: 0.002,
+    }
+}
+
+/// TPC-H query 2 on DB2: scan-dominated decision support — big working set,
+/// few stores, little synchronisation.
+pub fn dss_db2() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "DSS-DB2".to_string(),
+        description: "TPC-H on DB2: query 2, 450 MB buffer pool".to_string(),
+        default_instructions: 30_000,
+        mem_fraction: 0.45,
+        store_fraction: 0.12,
+        critical_section_rate: 0.0012,
+        critical_section_len: 10,
+        locks: 1024,
+        shared_fraction: 0.25,
+        shared_blocks: 8192,
+        private_blocks: 6144,
+        store_burst_rate: 0.003,
+        store_burst_len: 6,
+        fence_rate: 0.0008,
+    }
+}
+
+/// SPLASH-2 Barnes-Hut: mostly-private tree traversal, occasional locking.
+pub fn barnes() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Barnes".to_string(),
+        description: "SPLASH-2 Barnes-Hut: 16K bodies, 2.0 subdivision tolerance".to_string(),
+        default_instructions: 30_000,
+        mem_fraction: 0.42,
+        store_fraction: 0.26,
+        critical_section_rate: 0.0008,
+        critical_section_len: 6,
+        locks: 1024,
+        shared_fraction: 0.15,
+        shared_blocks: 2048,
+        private_blocks: 1280,
+        store_burst_rate: 0.004,
+        store_burst_len: 4,
+        fence_rate: 0.0002,
+    }
+}
+
+/// SPLASH-2 Ocean: grid relaxation — streaming private accesses with a large
+/// working set and barrier-only synchronisation.
+pub fn ocean() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "Ocean".to_string(),
+        description: "SPLASH-2 Ocean: 1026x1026 grid, 9600s relaxations".to_string(),
+        default_instructions: 30_000,
+        mem_fraction: 0.48,
+        store_fraction: 0.30,
+        critical_section_rate: 0.0004,
+        critical_section_len: 4,
+        locks: 1024,
+        shared_fraction: 0.10,
+        shared_blocks: 4096,
+        private_blocks: 4096,
+        store_burst_rate: 0.008,
+        store_burst_len: 6,
+        fence_rate: 0.0002,
+    }
+}
+
+/// All seven paper workloads, in the order the figures present them.
+pub fn all_presets() -> Vec<WorkloadSpec> {
+    vec![apache(), zeus(), oltp_oracle(), oltp_db2(), dss_db2(), barnes(), ocean()]
+}
+
+/// Looks a preset up by its (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all_presets().into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_presets_in_paper_order() {
+        let names: Vec<String> = all_presets().into_iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec!["Apache", "Zeus", "OLTP-Oracle", "OLTP-DB2", "DSS-DB2", "Barnes", "Ocean"]
+        );
+    }
+
+    #[test]
+    fn every_preset_is_valid() {
+        for w in all_presets() {
+            w.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(by_name("apache").unwrap().name, "Apache");
+        assert_eq!(by_name("OLTP-DB2").unwrap().name, "OLTP-DB2");
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn commercial_workloads_synchronise_more_than_scientific_ones() {
+        let apache = apache();
+        let barnes = barnes();
+        let ocean = ocean();
+        assert!(apache.critical_section_rate > 4.0 * barnes.critical_section_rate);
+        assert!(apache.critical_section_rate > 4.0 * ocean.critical_section_rate);
+        assert!(apache.fence_rate > ocean.fence_rate);
+        assert!(apache.shared_fraction > ocean.shared_fraction);
+    }
+
+    #[test]
+    fn dss_is_load_dominated() {
+        let dss = dss_db2();
+        assert!(dss.store_fraction < 0.2);
+        assert!(dss.store_fraction < oltp_db2().store_fraction);
+    }
+}

@@ -1,0 +1,124 @@
+//! The statistical model of a workload.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters describing the memory behaviour of one workload.
+///
+/// A `WorkloadSpec` is a compact statistical stand-in for the full-system
+/// traces of the paper's evaluation: it controls how often cores synchronise
+/// through contended locks (atomics + fences), how bursty stores are, how much
+/// data is shared, and how large the per-core working set is (and therefore
+/// the L1 miss rate). [`WorkloadSpec::generate`](crate::generator) expands it
+/// into deterministic per-core instruction traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Display name (matches the paper's workload labels).
+    pub name: String,
+    /// One-line description (the Figure 7 text).
+    pub description: String,
+    /// Default trace length per core when the caller does not override it.
+    pub default_instructions: usize,
+    /// Fraction of instructions that are memory operations (loads/stores/atomics).
+    pub mem_fraction: f64,
+    /// Of the memory operations, the fraction that are stores.
+    pub store_fraction: f64,
+    /// Probability per generated instruction of entering a lock-protected
+    /// critical section (atomic acquire, fenced, shared-data body, release).
+    pub critical_section_rate: f64,
+    /// Average number of body instructions inside a critical section.
+    pub critical_section_len: usize,
+    /// Number of distinct lock addresses shared by all cores (fewer ⇒ more
+    /// contention ⇒ more coherence-induced violations).
+    pub locks: usize,
+    /// Fraction of data accesses that target the shared region.
+    pub shared_fraction: f64,
+    /// Size of the globally shared data region, in cache blocks.
+    pub shared_blocks: usize,
+    /// Size of each core's private data region, in cache blocks (relative to
+    /// the 1024-block L1 this sets the miss rate).
+    pub private_blocks: usize,
+    /// Probability per instruction of emitting a store burst.
+    pub store_burst_rate: f64,
+    /// Number of consecutive stores in a burst.
+    pub store_burst_len: usize,
+    /// Probability per instruction of a standalone fence (lock-free
+    /// synchronisation outside critical sections).
+    pub fence_rate: f64,
+}
+
+impl WorkloadSpec {
+    /// A neutral, moderately synchronising workload useful as a starting point
+    /// for custom experiments.
+    pub fn uniform(name: impl Into<String>) -> Self {
+        WorkloadSpec {
+            name: name.into(),
+            description: "synthetic uniform workload".to_string(),
+            default_instructions: 20_000,
+            mem_fraction: 0.4,
+            store_fraction: 0.3,
+            critical_section_rate: 0.002,
+            critical_section_len: 12,
+            locks: 64,
+            shared_fraction: 0.2,
+            shared_blocks: 2048,
+            private_blocks: 2048,
+            store_burst_rate: 0.005,
+            store_burst_len: 6,
+            fence_rate: 0.001,
+        }
+    }
+
+    /// Checks that every probability is in range and every size is non-zero.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("mem_fraction", self.mem_fraction),
+            ("store_fraction", self.store_fraction),
+            ("critical_section_rate", self.critical_section_rate),
+            ("shared_fraction", self.shared_fraction),
+            ("store_burst_rate", self.store_burst_rate),
+            ("fence_rate", self.fence_rate),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability, got {p}"));
+            }
+        }
+        if self.locks == 0 || self.shared_blocks == 0 || self.private_blocks == 0 {
+            return Err("locks, shared_blocks and private_blocks must be non-zero".to_string());
+        }
+        if self.default_instructions == 0 {
+            return Err("default_instructions must be non-zero".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spec_is_valid() {
+        WorkloadSpec::uniform("test").validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_probability_is_rejected() {
+        let mut spec = WorkloadSpec::uniform("bad");
+        spec.mem_fraction = 1.5;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn zero_sizes_are_rejected() {
+        let mut spec = WorkloadSpec::uniform("bad");
+        spec.locks = 0;
+        assert!(spec.validate().unwrap_err().contains("non-zero"));
+        let mut spec = WorkloadSpec::uniform("bad");
+        spec.default_instructions = 0;
+        assert!(spec.validate().is_err());
+    }
+}

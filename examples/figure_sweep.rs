@@ -1,0 +1,41 @@
+//! Regenerates the paper's main result figures at a configurable scale and
+//! prints them as tables (the benchmark harness in `crates/bench` does the
+//! same under `cargo bench`, one target per figure).
+//!
+//! ```text
+//! IFENCE_INSTRS=20000 cargo run --release --example figure_sweep
+//! ```
+
+use ifence_sim::figures;
+use ifence_sim::ExperimentParams;
+use ifence_workloads::presets;
+
+fn main() {
+    let mut params = ExperimentParams::from_env();
+    if std::env::var("IFENCE_INSTRS").is_err() {
+        // Keep the default example run short; the bench harness uses more.
+        params.instructions_per_core = 4_000;
+    }
+    let workloads = presets::all_presets();
+
+    println!("== Figure 1: ordering stalls in conventional implementations ==");
+    let (_, table1) = figures::figure1(&workloads, &params);
+    println!("{table1}");
+
+    println!("== Figures 8-10: conventional vs InvisiFence-Selective ==");
+    let data = figures::selective_matrix(&workloads, &params);
+    println!("-- Figure 8: speedup over conventional SC --");
+    println!("{}", figures::figure8(&data));
+    println!("-- Figure 9: runtime breakdown (normalised to SC) --");
+    println!("{}", figures::figure9(&data));
+    println!("-- Figure 10: % of cycles spent speculating --");
+    println!("{}", figures::figure10(&data));
+
+    println!("== Figure 11: comparison with ASO ==");
+    let (_, table11) = figures::figure11(&workloads, &params);
+    println!("{table11}");
+
+    println!("== Figure 12: continuous speculation and commit-on-violate ==");
+    let (_, table12) = figures::figure12(&workloads, &params);
+    println!("{table12}");
+}

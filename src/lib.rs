@@ -1,0 +1,68 @@
+//! InvisiFence reproduction — umbrella crate.
+//!
+//! This crate re-exports the public API of the workspace so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`types`] — addresses, instructions, consistency models, machine
+//!   configuration (Figure 6).
+//! * [`stats`] — cycle-breakdown accounting and result tables.
+//! * [`mem`] — caches with speculative bits, store buffers, MSHRs.
+//! * [`coherence`] — the directory-MESI fabric and torus timing model.
+//! * [`cpu`] — the out-of-order core model and the ordering-engine trait.
+//! * [`consistency`] — conventional SC / TSO / RMO engines.
+//! * [`invisifence`] — the paper's contribution: selective and continuous
+//!   speculation, commit-on-violate, and the ASO baseline.
+//! * [`workloads`] — synthetic workload presets and litmus tests.
+//! * [`sim`] — the machine assembly, experiment runner and figure drivers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use invisifence_repro::prelude::*;
+//!
+//! // Run a small workload under conventional RMO and under InvisiFence-RMO.
+//! let params = ExperimentParams::quick_test();
+//! let workload = WorkloadSpec::uniform("demo");
+//! let conventional =
+//!     run_experiment(EngineKind::Conventional(ConsistencyModel::Rmo), &workload, &params);
+//! let invisi =
+//!     run_experiment(EngineKind::InvisiSelective(ConsistencyModel::Rmo), &workload, &params);
+//! assert!(conventional.cycles > 0 && invisi.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ifence_coherence as coherence;
+pub use ifence_consistency as consistency;
+pub use ifence_cpu as cpu;
+pub use ifence_mem as mem;
+pub use ifence_sim as sim;
+pub use ifence_stats as stats;
+pub use ifence_types as types;
+pub use ifence_workloads as workloads;
+pub use invisifence;
+
+/// The most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use ifence_sim::{run_experiment, run_litmus, ExperimentParams, Machine};
+    pub use ifence_stats::{ColumnTable, CycleBreakdown, RunSummary};
+    pub use ifence_types::{
+        Addr, BlockAddr, ConsistencyModel, CoreId, CycleClass, EngineKind, Instruction,
+        MachineConfig, Program,
+    };
+    pub use ifence_workloads::{presets, LitmusTest, WorkloadSpec};
+    pub use invisifence::build_engine;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_core_types() {
+        use crate::prelude::*;
+        let cfg = MachineConfig::paper_baseline();
+        assert_eq!(cfg.cores, 16);
+        assert_eq!(ConsistencyModel::ALL.len(), 3);
+        assert_eq!(presets::all_presets().len(), 7);
+    }
+}

@@ -1,0 +1,69 @@
+//! End-to-end consistency enforcement: litmus tests across every ordering
+//! engine. The paper's central invariant is that post-retirement speculation
+//! never becomes architecturally visible — an SC-enforcing InvisiFence
+//! configuration must observe exactly the outcomes conventional SC allows.
+
+use invisifence_repro::prelude::*;
+
+const MAX_CYCLES: u64 = 60_000_000;
+const ITERATIONS: usize = 25;
+
+fn sc_enforcing_engines() -> Vec<EngineKind> {
+    vec![
+        EngineKind::Conventional(ConsistencyModel::Sc),
+        EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        EngineKind::InvisiSelectiveTwoCkpt(ConsistencyModel::Sc),
+        EngineKind::InvisiContinuous { commit_on_violate: false },
+        EngineKind::InvisiContinuous { commit_on_violate: true },
+        EngineKind::Aso(ConsistencyModel::Sc),
+    ]
+}
+
+#[test]
+fn sc_enforcing_engines_never_show_forbidden_store_buffering_outcomes() {
+    let test = LitmusTest::store_buffering(ITERATIONS, false);
+    for engine in sc_enforcing_engines() {
+        let forbidden = run_litmus(engine, &test, MAX_CYCLES);
+        assert_eq!(forbidden, 0, "{} allowed a Dekker violation", engine.label());
+    }
+}
+
+#[test]
+fn sc_enforcing_engines_never_show_forbidden_message_passing_outcomes() {
+    let test = LitmusTest::message_passing(ITERATIONS, false);
+    for engine in sc_enforcing_engines() {
+        let forbidden = run_litmus(engine, &test, MAX_CYCLES);
+        assert_eq!(forbidden, 0, "{} allowed a message-passing violation", engine.label());
+    }
+}
+
+#[test]
+fn tso_preserves_store_order_in_message_passing() {
+    // TSO relaxes store→load order but not store→store, so message passing
+    // without fences is still forbidden from showing flag=1,data=0.
+    let test = LitmusTest::message_passing(ITERATIONS, false);
+    for engine in [
+        EngineKind::Conventional(ConsistencyModel::Tso),
+        EngineKind::InvisiSelective(ConsistencyModel::Tso),
+    ] {
+        let forbidden = run_litmus(engine, &test, MAX_CYCLES);
+        assert_eq!(forbidden, 0, "{} reordered stores", engine.label());
+    }
+}
+
+#[test]
+fn fences_restore_ordering_under_rmo() {
+    // Under RMO the plain patterns may legally show relaxed outcomes, but with
+    // full fences inserted both patterns become forbidden again — for the
+    // conventional implementation and for InvisiFence, which speculates past
+    // the fences instead of draining at them.
+    for engine in [
+        EngineKind::Conventional(ConsistencyModel::Rmo),
+        EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+    ] {
+        let mp = run_litmus(engine, &LitmusTest::message_passing(ITERATIONS, true), MAX_CYCLES);
+        let sb = run_litmus(engine, &LitmusTest::store_buffering(ITERATIONS, true), MAX_CYCLES);
+        assert_eq!(mp, 0, "{}: fenced message passing must be ordered", engine.label());
+        assert_eq!(sb, 0, "{}: fenced store buffering must be ordered", engine.label());
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests on the core data structures and their invariants.
+
+use ifence_mem::{BlockData, LineState, SetAssocCache, SpecBitArray, StoreBuffer};
+use ifence_types::{Addr, BlockAddr, CacheConfig};
+use proptest::prelude::*;
+
+fn block(byte: u64) -> BlockAddr {
+    BlockAddr::containing(Addr::new(byte), 64)
+}
+
+proptest! {
+    /// Flash clear always leaves every bit clear, no matter the set/clear history.
+    #[test]
+    fn spec_bits_flash_clear_resets_everything(ops in proptest::collection::vec(0usize..256, 0..200)) {
+        let mut bits = SpecBitArray::new(256);
+        for (i, op) in ops.iter().enumerate() {
+            if i % 7 == 3 {
+                bits.clear(*op);
+            } else {
+                bits.set(*op);
+            }
+        }
+        bits.flash_clear();
+        prop_assert!(bits.none_set());
+        prop_assert_eq!(bits.count_set(), 0);
+    }
+
+    /// The set-bit log never reports a bit that `get` says is clear, and
+    /// `count_set` matches a brute-force count.
+    #[test]
+    fn spec_bits_log_is_consistent(sets in proptest::collection::vec(0usize..64, 0..100),
+                                   clears in proptest::collection::vec(0usize..64, 0..100)) {
+        let mut bits = SpecBitArray::new(64);
+        for s in &sets {
+            bits.set(*s);
+        }
+        for c in &clears {
+            bits.clear(*c);
+        }
+        let brute: usize = (0..64).filter(|i| bits.get(*i)).count();
+        prop_assert_eq!(bits.count_set(), brute);
+        for idx in bits.iter_set() {
+            prop_assert!(bits.get(idx));
+        }
+    }
+
+    /// A coalescing store buffer never exceeds its capacity, never merges
+    /// across the speculative/non-speculative boundary, and forwarding always
+    /// returns the youngest value written to a word.
+    #[test]
+    fn coalescing_store_buffer_invariants(
+        stores in proptest::collection::vec((0u64..32, 0u64..8, any::<u64>(), proptest::option::of(0u8..2)), 1..64)
+    ) {
+        let capacity = 8;
+        let mut sb = StoreBuffer::new_coalescing(capacity, 64);
+        // Forwarding is defined to prefer the highest-epoch entry for a word
+        // (speculative entries are younger than non-speculative ones in real
+        // executions); model exactly that rule here.
+        let mut per_epoch: std::collections::HashMap<(u64, u64, i16), u64> =
+            std::collections::HashMap::new();
+        for (blk_idx, word, value, epoch) in stores {
+            let addr = Addr::new(blk_idx * 64 + word * 8);
+            if sb.push(addr, value, epoch).is_ok() {
+                let key = (blk_idx, word, epoch.map(|e| e as i16).unwrap_or(-1));
+                per_epoch.insert(key, value);
+                prop_assert!(sb.len() <= capacity);
+            }
+            let expected = (-1..2)
+                .rev()
+                .find_map(|e| per_epoch.get(&(blk_idx, word, e)).copied());
+            if let Some(expected) = expected {
+                prop_assert_eq!(sb.forward(addr), Some(expected));
+            }
+        }
+        // Epoch-exact invalidation removes exactly the tagged entries.
+        let spec_before = sb.speculative_len();
+        let removed = sb.flash_invalidate_exact(0) + sb.flash_invalidate_exact(1);
+        prop_assert_eq!(removed, spec_before);
+        prop_assert!(!sb.has_speculative());
+    }
+
+    /// A FIFO store buffer drains blocks in insertion order.
+    #[test]
+    fn fifo_store_buffer_preserves_order(blocks in proptest::collection::vec(0u64..16, 1..32)) {
+        let mut sb = StoreBuffer::new_fifo(64, 64);
+        for (i, b) in blocks.iter().enumerate() {
+            sb.push(Addr::new(b * 64), i as u64, None).unwrap();
+        }
+        let mut drained = Vec::new();
+        while let Some((blk, _)) = sb.drain_candidates().first().copied() {
+            let entry = sb.drain_block(blk).unwrap();
+            drained.push(entry.block.number());
+        }
+        prop_assert!(sb.is_empty());
+        // The sequence of drained blocks is the insertion sequence with
+        // consecutive duplicates collapsed.
+        let mut expected = Vec::new();
+        for b in &blocks {
+            if expected.last() != Some(b) {
+                expected.push(*b);
+            }
+        }
+        // Collapsing only merges *adjacent* same-block runs, so the drained
+        // list cannot be longer than the insertion list and must preserve
+        // relative order of first occurrences.
+        prop_assert_eq!(drained.len(), expected.len());
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// The cache never holds two lines for the same block, and its valid-line
+    /// count never exceeds its capacity.
+    #[test]
+    fn cache_uniqueness_and_capacity(accesses in proptest::collection::vec(0u64..128, 1..300)) {
+        let cfg = CacheConfig {
+            size_bytes: 2 * 1024,
+            associativity: 2,
+            block_bytes: 64,
+            hit_latency: 2,
+            ports: 1,
+            mshrs: 4,
+            victim_entries: 0,
+        };
+        let capacity = cfg.blocks();
+        let mut cache = SetAssocCache::new(&cfg);
+        for a in accesses {
+            let b = block(a * 64);
+            cache.fill(b, LineState::Shared, BlockData::zeroed());
+            prop_assert!(cache.valid_lines() <= capacity);
+            prop_assert!(cache.contains(b), "a just-filled block is resident");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (blk, _) in cache.iter_valid() {
+            prop_assert!(seen.insert(blk.number()), "duplicate resident block");
+        }
+    }
+
+    /// Flash-invalidating speculatively-written lines removes exactly those
+    /// lines and clears every speculative mark.
+    #[test]
+    fn cache_abort_invalidates_only_written_lines(
+        reads in proptest::collection::vec(0u64..32, 0..20),
+        writes in proptest::collection::vec(0u64..32, 0..20),
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 4 * 1024,
+            associativity: 4,
+            block_bytes: 64,
+            hit_latency: 2,
+            ports: 1,
+            mshrs: 4,
+            victim_entries: 0,
+        };
+        let mut cache = SetAssocCache::new(&cfg);
+        for r in &reads {
+            let b = block(r * 64);
+            cache.fill(b, LineState::Shared, BlockData::zeroed());
+            cache.mark_spec_read(b, 0);
+        }
+        for w in &writes {
+            let b = block(w * 64);
+            cache.fill(b, LineState::Modified, BlockData::zeroed());
+            cache.mark_spec_written(b, 0);
+        }
+        let invalidated = cache.flash_invalidate_written(0);
+        for b in &invalidated {
+            prop_assert_eq!(cache.state(*b), LineState::Invalid);
+        }
+        prop_assert!(!cache.has_spec_lines());
+        // Read-only speculative blocks survive the abort (they are simply
+        // unmarked), unless the same block was also written.
+        for r in &reads {
+            if !writes.contains(r) {
+                prop_assert!(cache.state(block(r * 64)).readable());
+            }
+        }
+    }
+}
