@@ -1,13 +1,25 @@
 //! Figure 2: consistency-model definitions and conventional implementations.
 
-use ifence_bench::print_header;
+use ifence_bench::{paper_params, print_header};
 use ifence_consistency::figure2_rows;
 use ifence_stats::ColumnTable;
 
 fn main() {
-    print_header("Figure 2", "Memory consistency models: definitions and conventional implementations");
+    let params = paper_params();
+    print_header(
+        "Figure 2",
+        "Memory consistency models: definitions and conventional implementations",
+        &params,
+    );
     let mut table = ColumnTable::new([
-        "Model", "Relaxations", "SB organization", "SB granularity", "Load", "Store", "Atomic", "Full fence",
+        "Model",
+        "Relaxations",
+        "SB organization",
+        "SB granularity",
+        "Load",
+        "Store",
+        "Atomic",
+        "Full fence",
     ]);
     for row in figure2_rows() {
         table.push_row([

@@ -8,14 +8,19 @@ use ifence_stats::ColumnTable;
 use invisifence::figure4_rows;
 
 fn main() {
-    print_header("Figure 4", "Properties of INVISIFENCE variants");
+    let params = paper_params();
+    print_header("Figure 4", "Properties of INVISIFENCE variants", &params);
     let mut table = ColumnTable::new([
-        "Variant", "Speculates on?", "% time speculating (paper)", "% time speculating (measured)",
-        "Min. chunk size", "Snoops load Q?",
+        "Variant",
+        "Speculates on?",
+        "% time speculating (paper)",
+        "% time speculating (measured)",
+        "Min. chunk size",
+        "Snoops load Q?",
     ]);
     // Measure the selective variants on the first workload of the suite.
     let suite = workload_suite();
-    let measured = figures::selective_matrix(&suite[..1], &paper_params());
+    let measured = figures::selective_matrix(&suite[..1], &params);
     let workload = &measured.per_workload[0].0;
     let lookup = |cfg: &str| {
         measured

@@ -1,11 +1,12 @@
 //! Figure 6: simulated-machine parameters.
 
-use ifence_bench::print_header;
+use ifence_bench::{paper_params, print_header};
 use ifence_stats::ColumnTable;
 use ifence_types::{ConsistencyModel, EngineKind, MachineConfig};
 
 fn main() {
-    print_header("Figure 6", "Simulator parameters (paper baseline configuration)");
+    let params = paper_params();
+    print_header("Figure 6", "Simulator parameters (paper baseline configuration)", &params);
     let mut table = ColumnTable::new(["Component", "Configuration"]);
     for (k, v) in MachineConfig::paper_baseline().figure6_rows() {
         table.push_row([k, v]);

@@ -1,14 +1,21 @@
 //! Figure 7: workload descriptions and the synthetic parameters used to
 //! approximate them.
 
-use ifence_bench::print_header;
+use ifence_bench::{paper_params, print_header};
 use ifence_stats::ColumnTable;
 use ifence_workloads::presets;
 
 fn main() {
-    print_header("Figure 7", "Workloads (synthetic approximations; see DESIGN.md)");
+    let params = paper_params();
+    print_header("Figure 7", "Workloads (synthetic approximations; see DESIGN.md)", &params);
     let mut table = ColumnTable::new([
-        "Workload", "Description", "mem frac", "store frac", "CS rate", "locks", "shared frac",
+        "Workload",
+        "Description",
+        "mem frac",
+        "store frac",
+        "CS rate",
+        "locks",
+        "shared frac",
     ]);
     for w in presets::all_presets() {
         table.push_row([

@@ -5,10 +5,18 @@ use ifence_bench::{paper_params, print_header, workload_suite};
 use ifence_sim::figures;
 
 fn main() {
-    print_header("Figure 8", "Speedups over conventional SC (sc, tso, rmo, Invisi_sc, Invisi_tso, Invisi_rmo)");
-    let data = figures::selective_matrix(&workload_suite(), &paper_params());
+    let params = paper_params();
+    print_header(
+        "Figure 8",
+        "Speedups over conventional SC (sc, tso, rmo, Invisi_sc, Invisi_tso, Invisi_rmo)",
+        &params,
+    );
+    let data = figures::selective_matrix(&workload_suite(), &params);
     println!("{}", figures::figure8(&data));
     for config in ["tso", "rmo", "Invisi_sc", "Invisi_tso", "Invisi_rmo"] {
-        println!("geometric-mean speedup of {config} over sc: {:.3}", data.mean_speedup(config, "sc"));
+        println!(
+            "geometric-mean speedup of {config} over sc: {:.3}",
+            data.mean_speedup(config, "sc")
+        );
     }
 }

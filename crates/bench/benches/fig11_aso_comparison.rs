@@ -5,7 +5,12 @@ use ifence_bench::{paper_params, print_header, workload_suite};
 use ifence_sim::figures;
 
 fn main() {
-    print_header("Figure 11", "ASOsc vs Invisi_sc (1 checkpoint) vs Invisi_sc (2 checkpoints)");
-    let (_, table) = figures::figure11(&workload_suite(), &paper_params());
+    let params = paper_params();
+    print_header(
+        "Figure 11",
+        "ASOsc vs Invisi_sc (1 checkpoint) vs Invisi_sc (2 checkpoints)",
+        &params,
+    );
+    let (_, table) = figures::figure11(&workload_suite(), &params);
     println!("{table}");
 }

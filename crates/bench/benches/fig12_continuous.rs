@@ -5,7 +5,12 @@ use ifence_bench::{paper_params, print_header, workload_suite};
 use ifence_sim::figures;
 
 fn main() {
-    print_header("Figure 12", "sc, Invisi_cont, rmo, Invisi_cont_CoV, Invisi_rmo (normalised to SC)");
-    let (_, table) = figures::figure12(&workload_suite(), &paper_params());
+    let params = paper_params();
+    print_header(
+        "Figure 12",
+        "sc, Invisi_cont, rmo, Invisi_cont_CoV, Invisi_rmo (normalised to SC)",
+        &params,
+    );
+    let (_, table) = figures::figure12(&workload_suite(), &params);
     println!("{table}");
 }

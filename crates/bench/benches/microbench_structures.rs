@@ -1,110 +1,116 @@
-//! Criterion microbenchmarks of the paper's hardware structures: the
-//! flash-clearable speculative bits (Figure 3's functional contract), the
-//! coalescing store buffer, the L1 tag array, and the directory.
+//! Microbenchmarks of the paper's hardware structures: the flash-clearable
+//! speculative bits (Figure 3's functional contract), the coalescing store
+//! buffer, the L1 tag array, and the directory.
+//!
+//! Timing uses a plain [`std::time::Instant`] loop (the workspace builds
+//! offline, without Criterion): each case is warmed up, then run for a fixed
+//! number of iterations, reporting mean ns/iter.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use ifence_coherence::Directory;
 use ifence_mem::{BlockData, LineState, SetAssocCache, SpecBitArray, StoreBuffer};
 use ifence_types::{Addr, BlockAddr, CacheConfig, CoreId};
+
+const WARMUP_ITERS: u32 = 20;
+const MEASURE_ITERS: u32 = 200;
 
 fn blk(i: u64) -> BlockAddr {
     BlockAddr::containing(Addr::new(i * 64), 64)
 }
 
-fn bench_spec_bits(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spec_bits");
-    group.bench_function("set_1024", |b| {
-        let mut bits = SpecBitArray::new(1024);
-        b.iter(|| {
-            for i in 0..1024 {
-                bits.set(black_box(i));
-            }
-            bits.flash_clear();
-        });
-    });
-    group.bench_function("flash_clear_after_64_sets", |b| {
-        let mut bits = SpecBitArray::new(1024);
-        b.iter(|| {
-            for i in 0..64 {
-                bits.set(i * 16);
-            }
-            bits.flash_clear();
-            black_box(bits.none_set())
-        });
-    });
-    group.finish();
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    for _ in 0..WARMUP_ITERS {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..MEASURE_ITERS {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_nanos() / MEASURE_ITERS as u128;
+    println!("{name:<44} {per_iter:>12} ns/iter");
 }
 
-fn bench_store_buffer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("store_buffer");
-    group.bench_function("coalescing_push_forward", |b| {
-        b.iter(|| {
-            let mut sb = StoreBuffer::new_coalescing(8, 64);
-            for i in 0..64u64 {
-                let _ = sb.push(Addr::new((i % 8) * 64 + (i % 8) * 8), i, None);
-            }
-            black_box(sb.forward(Addr::new(0)))
-        });
+fn bench_spec_bits() {
+    // Construct outside the timed closure (flash_clear restores the empty
+    // state), so the numbers measure set/flash-clear, not allocation.
+    let mut bits = SpecBitArray::new(1024);
+    bench("spec_bits/set_1024", || {
+        for i in 0..1024 {
+            bits.set(black_box(i));
+        }
+        bits.flash_clear();
     });
-    group.bench_function("fifo_push_drain", |b| {
-        b.iter(|| {
-            let mut sb = StoreBuffer::new_fifo(64, 64);
-            for i in 0..64u64 {
-                let _ = sb.push(Addr::new(i * 8), i, None);
-            }
-            black_box(sb.drain_all().len())
-        });
+    let mut bits = SpecBitArray::new(1024);
+    bench("spec_bits/flash_clear_after_64_sets", || {
+        for i in 0..64 {
+            bits.set(i * 16);
+        }
+        bits.flash_clear();
+        bits.none_set()
     });
-    group.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_store_buffer() {
+    bench("store_buffer/coalescing_push_forward", || {
+        let mut sb = StoreBuffer::new_coalescing(8, 64);
+        for i in 0..64u64 {
+            let _ = sb.push(Addr::new((i % 8) * 64 + (i % 8) * 8), i, None);
+        }
+        sb.forward(Addr::new(0))
+    });
+    bench("store_buffer/fifo_push_drain", || {
+        let mut sb = StoreBuffer::new_fifo(64, 64);
+        for i in 0..64u64 {
+            let _ = sb.push(Addr::new(i * 8), i, None);
+        }
+        sb.drain_all().len()
+    });
+}
+
+fn bench_cache() {
     let cfg = CacheConfig::paper_l1d();
-    let mut group = c.benchmark_group("l1_tag_array");
-    group.bench_function("fill_lookup_1024", |b| {
-        b.iter(|| {
-            let mut cache = SetAssocCache::new(&cfg);
-            for i in 0..1024u64 {
-                cache.fill(blk(i), LineState::Exclusive, BlockData::zeroed());
+    bench("l1_tag_array/fill_lookup_1024", || {
+        let mut cache = SetAssocCache::new(&cfg);
+        for i in 0..1024u64 {
+            cache.fill(blk(i), LineState::Exclusive, BlockData::zeroed());
+        }
+        let mut hits = 0;
+        for i in 0..1024u64 {
+            if cache.contains(blk(i)) {
+                hits += 1;
             }
-            let mut hits = 0;
-            for i in 0..1024u64 {
-                if cache.contains(blk(i)) {
-                    hits += 1;
-                }
-            }
-            black_box(hits)
-        });
+        }
+        hits
     });
-    group.bench_function("speculative_abort_64_written", |b| {
-        b.iter(|| {
-            let mut cache = SetAssocCache::new(&cfg);
-            for i in 0..64u64 {
-                cache.fill(blk(i), LineState::Modified, BlockData::zeroed());
-                cache.mark_spec_written(blk(i), 0);
-            }
-            black_box(cache.flash_invalidate_written(0).len())
-        });
+    bench("l1_tag_array/speculative_abort_64_written", || {
+        let mut cache = SetAssocCache::new(&cfg);
+        for i in 0..64u64 {
+            cache.fill(blk(i), LineState::Modified, BlockData::zeroed());
+            cache.mark_spec_written(blk(i), 0);
+        }
+        cache.flash_invalidate_written(0).len()
     });
-    group.finish();
 }
 
-fn bench_directory(c: &mut Criterion) {
-    let mut group = c.benchmark_group("directory");
-    group.bench_function("sharer_tracking_16_cores", |b| {
-        b.iter(|| {
-            let mut dir = Directory::new(16);
-            for i in 0..256u64 {
-                for core in 0..4 {
-                    dir.add_sharer(blk(i), CoreId(core));
-                }
-                black_box(dir.holders_except(blk(i), CoreId(0)).len());
-                dir.set_owner(blk(i), CoreId(1));
+fn bench_directory() {
+    bench("directory/sharer_tracking_16_cores", || {
+        let mut dir = Directory::new(16);
+        for i in 0..256u64 {
+            for core in 0..4 {
+                dir.add_sharer(blk(i), CoreId(core));
             }
-        });
+            black_box(dir.holders_except(blk(i), CoreId(0)).len());
+            dir.set_owner(blk(i), CoreId(1));
+        }
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_spec_bits, bench_store_buffer, bench_cache, bench_directory);
-criterion_main!(benches);
+fn main() {
+    println!("structure microbenchmarks ({MEASURE_ITERS} iterations each)");
+    bench_spec_bits();
+    bench_store_buffer();
+    bench_cache();
+    bench_directory();
+}

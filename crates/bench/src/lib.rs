@@ -4,13 +4,18 @@
 //! `benches/` (they are plain binaries, not Criterion timing loops, because
 //! what they produce is the figure's *data*). The experiment size is taken
 //! from the `IFENCE_INSTRS` / `IFENCE_SEED` environment variables, defaulting
-//! to 20 000 instructions per core on the 16-core paper machine.
+//! to 20 000 instructions per core on the 16-core paper machine. Experiment
+//! grids run through the parallel sweep engine in [`ifence_sim::sweep`] on
+//! `IFENCE_JOBS` worker threads (default: available cores) — the emitted
+//! tables are byte-identical at any job count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ifence_sim::ExperimentParams;
 use ifence_workloads::{presets, WorkloadSpec};
+
+pub use ifence_sim::sweep;
 
 /// Experiment parameters for figure regeneration (paper machine, environment
 /// overridable).
@@ -36,12 +41,16 @@ pub fn workload_suite() -> Vec<WorkloadSpec> {
 }
 
 /// Prints the standard header for a figure-regeneration bench target.
-pub fn print_header(figure: &str, description: &str) {
-    let params = paper_params();
+///
+/// Takes the caller's already-built params rather than re-reading the
+/// environment, so an unparseable `IFENCE_*` value warns exactly once.
+pub fn print_header(figure: &str, description: &str, params: &ExperimentParams) {
     println!("================================================================================");
     println!("{figure}: {description}");
+    // The sweep worker count is deliberately not printed: output must be
+    // byte-identical for a fixed seed at any IFENCE_JOBS value.
     println!(
-        "machine: 16-core paper baseline; {} instructions/core, seed {} (override with IFENCE_INSTRS / IFENCE_SEED / IFENCE_WORKLOADS)",
+        "machine: 16-core paper baseline; {} instructions/core, seed {} (override with IFENCE_INSTRS / IFENCE_SEED / IFENCE_WORKLOADS / IFENCE_JOBS)",
         params.instructions_per_core, params.seed
     );
     println!("================================================================================");

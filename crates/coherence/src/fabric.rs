@@ -294,7 +294,6 @@ impl CoherenceFabric {
     }
 
     fn schedule_fill(&mut self, id: u64, now: Cycle) {
-        let home;
         let (requester, block, kind, data_ready, dirty, grant_exclusive) = {
             let t = match self.txns.get_mut(&id) {
                 Some(t) => t,
@@ -306,7 +305,7 @@ impl CoherenceFabric {
             t.fill_scheduled = true;
             (t.requester, t.block, t.kind, t.data_ready_at, t.dirty_data, t.grant_exclusive)
         };
-        home = self.dir.home(block);
+        let home = self.dir.home(block);
         let data = match dirty {
             Some(d) => {
                 // The dirty copy is the authoritative value; keep memory in sync.
@@ -328,7 +327,13 @@ impl CoherenceFabric {
         let fill_at = data_ready.max(now) + self.latency(home, requester);
         self.schedule(
             fill_at,
-            EventKind::Deliver(Delivery::Fill { core: requester, block, state, data, txn: TxnId(id) }),
+            EventKind::Deliver(Delivery::Fill {
+                core: requester,
+                block,
+                state,
+                data,
+                txn: TxnId(id),
+            }),
         );
     }
 
@@ -468,7 +473,8 @@ mod tests {
             for d in fabric.step(now) {
                 match d {
                     Delivery::Fill { .. } => fills.push((now, d)),
-                    Delivery::Invalidate { core, txn, .. } | Delivery::Downgrade { core, txn, .. } => {
+                    Delivery::Invalidate { core, txn, .. }
+                    | Delivery::Downgrade { core, txn, .. } => {
                         fabric.respond(SnoopReply::Ack { core, txn, dirty_data: dirty }, now);
                     }
                 }
@@ -513,10 +519,7 @@ mod tests {
                         assert_eq!(core, CoreId(1));
                         assert_eq!(requester, CoreId(2));
                         downgrades += 1;
-                        fabric.respond(
-                            SnoopReply::Ack { core, txn, dirty_data: Some(dirty) },
-                            now,
-                        );
+                        fabric.respond(SnoopReply::Ack { core, txn, dirty_data: Some(dirty) }, now);
                     }
                     Delivery::Fill { core, state, data, .. } => fills.push((core, state, data)),
                     Delivery::Invalidate { .. } => panic!("GetS must not invalidate"),
@@ -529,10 +532,7 @@ mod tests {
         assert_eq!(core, CoreId(2));
         assert_eq!(state, LineState::Shared);
         assert_eq!(data.word(0), 0xAB, "fill carries the owner's dirty data");
-        assert_eq!(
-            fabric.dir.state(blk(0x40)),
-            DirectoryState::Shared(vec![CoreId(1), CoreId(2)])
-        );
+        assert_eq!(fabric.dir.state(blk(0x40)), DirectoryState::Shared(vec![CoreId(1), CoreId(2)]));
     }
 
     #[test]
@@ -680,7 +680,11 @@ mod tests {
         // Drop the block and fetch it again from the same node: the second
         // fetch skips the memory latency.
         fabric.request(
-            CoherenceRequest { core: CoreId(0), block: blk(0x0), kind: CoherenceReqKind::WritebackClean },
+            CoherenceRequest {
+                core: CoreId(0),
+                block: blk(0x0),
+                kind: CoherenceReqKind::WritebackClean,
+            },
             2000,
         );
         fabric.request(gets(0, blk(0x0)), 2000);

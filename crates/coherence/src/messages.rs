@@ -160,7 +160,12 @@ mod tests {
 
     #[test]
     fn delivery_accessors() {
-        let d = Delivery::Invalidate { core: CoreId(2), block: blk(0x40), txn: TxnId(7), requester: CoreId(1) };
+        let d = Delivery::Invalidate {
+            core: CoreId(2),
+            block: blk(0x40),
+            txn: TxnId(7),
+            requester: CoreId(1),
+        };
         assert_eq!(d.core(), CoreId(2));
         assert_eq!(d.block(), blk(0x40));
         assert!(d.is_external_request());

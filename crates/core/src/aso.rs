@@ -134,17 +134,13 @@ impl AsoEngine {
             // abort can recover it from the L2.
             let already_written =
                 self.checkpoints.iter().any(|c| c.write_set.contains(&block.number()));
-            if !already_written {
-                if ctx.mem.l1.clean_writeback(block).is_some() {
-                    ctx.stats.counters.writebacks += 1;
-                }
+            if !already_written && ctx.mem.l1.clean_writeback(block).is_some() {
+                ctx.stats.counters.writebacks += 1;
             }
             let word = addr.word_in_block(ctx.mem.block_bytes()).index();
             ctx.mem.l1.write_word(block, word, value)
         } else {
-            ctx.mem
-                .store_to_sb(addr, value, Some(epoch), ctx.now, &mut ctx.stats.counters)
-                .is_ok()
+            ctx.mem.store_to_sb(addr, value, Some(epoch), ctx.now, &mut ctx.stats.counters).is_ok()
         };
         if !stored {
             return RetireOutcome::Stall(StallReason::StoreBufferFull);
@@ -158,17 +154,12 @@ impl AsoEngine {
     fn retire_speculative(&mut self, ctx: &mut RetireCtx<'_>) -> RetireOutcome {
         // Take an intermediate checkpoint periodically so violations discard
         // less work.
-        let take_new = self
-            .checkpoints
-            .last()
-            .map(|c| c.retired >= self.checkpoint_interval)
-            .unwrap_or(false)
-            && self.checkpoints.len() < MAX_ASO_CHECKPOINTS;
+        let take_new =
+            self.checkpoints.last().map(|c| c.retired >= self.checkpoint_interval).unwrap_or(false)
+                && self.checkpoints.len() < MAX_ASO_CHECKPOINTS;
         if take_new {
-            self.checkpoints.push(AsoCheckpoint {
-                resume_at: ctx.checkpoint_index(),
-                ..Default::default()
-            });
+            self.checkpoints
+                .push(AsoCheckpoint { resume_at: ctx.checkpoint_index(), ..Default::default() });
         }
         let outcome = match ctx.entry.instr.kind {
             InstrKind::Op(_) | InstrKind::Fence(_) => RetireOutcome::Retired,
@@ -254,10 +245,8 @@ impl OrderingEngine for AsoEngine {
                 return RetireOutcome::Stall(StallReason::StoreBufferDrain);
             }
             ctx.stats.counters.speculations_started += 1;
-            self.checkpoints.push(AsoCheckpoint {
-                resume_at: ctx.checkpoint_index(),
-                ..Default::default()
-            });
+            self.checkpoints
+                .push(AsoCheckpoint { resume_at: ctx.checkpoint_index(), ..Default::default() });
             return self.retire_speculative(ctx);
         }
         let outcome = self.retire_non_speculative(ctx);
@@ -464,13 +453,8 @@ mod tests {
         engine.commit_all(&mut stats, 1000);
         assert!(engine.committing());
         // During the drain window external requests are deferred...
-        let outcome = engine.on_external(
-            &mut mem,
-            &mut stats,
-            blk(0x1000),
-            ExternalKind::Invalidate,
-            1010,
-        );
+        let outcome =
+            engine.on_external(&mut mem, &mut stats, blk(0x1000), ExternalKind::Invalidate, 1010);
         assert!(matches!(outcome, ExternalOutcome::Defer { until } if until >= 1100));
         // ...and acknowledged once it finishes.
         let res = engine.resolve_deferred(
@@ -488,8 +472,8 @@ mod tests {
     fn violation_rolls_back_to_intermediate_checkpoint() {
         let mut program = Program::new();
         program.push(Instruction::store(Addr::new(0x9000), 1)); // miss -> trigger
-        // First checkpoint's work touches 0x1000; after the checkpoint
-        // interval, later work touches 0x3000.
+                                                                // First checkpoint's work touches 0x1000; after the checkpoint
+                                                                // interval, later work touches 0x3000.
         for _ in 0..6 {
             program.push(Instruction::load(Addr::new(0x1000)));
         }

@@ -73,8 +73,7 @@ mod tests {
         // working continuous engine (it needs two checkpoints internally).
         let mut cfg = MachineConfig::with_engine(EngineKind::Conventional(Rmo));
         cfg.speculation.checkpoints = 1;
-        let engine =
-            build_engine(EngineKind::InvisiContinuous { commit_on_violate: false }, &cfg);
+        let engine = build_engine(EngineKind::InvisiContinuous { commit_on_violate: false }, &cfg);
         assert_eq!(engine.name(), "Invisi_cont");
     }
 }

@@ -230,7 +230,12 @@ impl SpeculationKernel {
     /// writes are flash-invalidated from the L1, speculative store-buffer
     /// entries discarded, and all provisional cycles charged to `Violation`.
     /// Returns the program index at which execution must resume.
-    pub fn abort_from(&mut self, position: usize, mem: &mut CoreMem, stats: &mut CoreStats) -> usize {
+    pub fn abort_from(
+        &mut self,
+        position: usize,
+        mem: &mut CoreMem,
+        stats: &mut CoreStats,
+    ) -> usize {
         assert!(position < self.episodes.len(), "abort position out of range");
         let resume_at = self.episodes[position].checkpoint;
         let discarded: Vec<Episode> = self.episodes.drain(position..).collect();
@@ -268,11 +273,7 @@ impl SpeculationKernel {
     pub fn can_drain(&self, epoch: Option<u8>) -> bool {
         match epoch {
             None => true,
-            Some(slot) => self
-                .episodes
-                .first()
-                .map(|e| e.slot == slot as usize)
-                .unwrap_or(false),
+            Some(slot) => self.episodes.first().map(|e| e.slot == slot as usize).unwrap_or(false),
         }
     }
 
@@ -394,7 +395,7 @@ mod tests {
         let slot = k.begin(0, &mut stats).unwrap();
         retire(&mut k, &mut mem, &mut stats, Instruction::store(Addr::new(0x3000), 9), 0);
         assert_eq!(mem.sb.epoch_len(Some(slot as u8)), 1);
-        assert!(!k.can_drain(None) == false, "non-speculative entries always drain");
+        assert!(k.can_drain(None), "non-speculative entries always drain");
         assert!(k.can_drain(Some(slot as u8)), "oldest episode's stores may drain");
     }
 
@@ -428,7 +429,11 @@ mod tests {
         assert_eq!(resume, 42);
         assert!(!k.speculating());
         assert_eq!(stats.counters.speculations_aborted, 1);
-        assert_eq!(stats.breakdown.get(CycleClass::Violation), 2, "provisional cycles re-attributed");
+        assert_eq!(
+            stats.breakdown.get(CycleClass::Violation),
+            2,
+            "provisional cycles re-attributed"
+        );
         assert_eq!(stats.breakdown.get(CycleClass::Busy), 0);
         assert_eq!(mem.l1.peek(blk(0x2000)), LineState::Invalid, "spec-written block invalidated");
         assert!(mem.sb.is_empty(), "speculative buffer entries discarded");

@@ -148,12 +148,7 @@ impl InvisiSelectiveEngine {
         }
     }
 
-    fn abort(
-        &mut self,
-        position: usize,
-        mem: &mut CoreMem,
-        stats: &mut CoreStats,
-    ) -> usize {
+    fn abort(&mut self, position: usize, mem: &mut CoreMem, stats: &mut CoreStats) -> usize {
         let resume = self.kernel.abort_from(position, mem, stats);
         if !self.kernel.speculating() {
             // Forward progress: at least one instruction must retire

@@ -154,7 +154,15 @@ impl Core {
             .mem
             .mshrs
             .iter()
-            .map(|e| format!("{}(w={},pf={},waiters={})", e.block, e.for_write, e.prefetch, e.waiters.len()))
+            .map(|e| {
+                format!(
+                    "{}(w={},pf={},waiters={})",
+                    e.block,
+                    e.for_write,
+                    e.prefetch,
+                    e.waiters.len()
+                )
+            })
             .collect();
         format!(
             "core{} now={} retired={}/{} rob={} sb={} spec={} deferred={} {} mshrs=[{}]",
@@ -210,9 +218,7 @@ impl Core {
                 let stragglers: Vec<u64> = self
                     .rob
                     .iter()
-                    .filter(|e| {
-                        e.issued && e.complete_at.is_none() && e.block == Some(block)
-                    })
+                    .filter(|e| e.issued && e.complete_at.is_none() && e.block == Some(block))
                     .map(|e| e.dispatch_id)
                     .collect();
                 for waiter in stragglers {
@@ -266,10 +272,7 @@ impl Core {
     }
 
     fn program_addr_of_waiter(&self, waiter: u64) -> Option<ifence_types::Addr> {
-        self.rob
-            .iter()
-            .find(|e| e.dispatch_id == waiter)
-            .and_then(|e| e.instr.kind.addr())
+        self.rob.iter().find(|e| e.dispatch_id == waiter).and_then(|e| e.instr.kind.addr())
     }
 
     fn handle_external(
@@ -403,8 +406,12 @@ impl Core {
                         entry.issued = true;
                         stats.counters.l1_hits += 1;
                         engine.on_load_issue(mem, block);
-                    } else if mem.ensure_read_miss(block, entry.dispatch_id, now, &mut stats.counters)
-                    {
+                    } else if mem.ensure_read_miss(
+                        block,
+                        entry.dispatch_id,
+                        now,
+                        &mut stats.counters,
+                    ) {
                         entry.issued = true;
                     }
                 }

@@ -125,7 +125,12 @@ pub trait OrderingEngine {
 
     /// Per-cycle maintenance: opportunistic commit, chunk management, policy
     /// timeouts. Returns actions (e.g. rollbacks) the core must perform.
-    fn tick(&mut self, _mem: &mut CoreMem, _stats: &mut CoreStats, _now: Cycle) -> Vec<EngineAction> {
+    fn tick(
+        &mut self,
+        _mem: &mut CoreMem,
+        _stats: &mut CoreStats,
+        _now: Cycle,
+    ) -> Vec<EngineAction> {
         Vec::new()
     }
 

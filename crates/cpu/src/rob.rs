@@ -149,9 +149,7 @@ impl Rob {
     /// in-flight instruction). This is the entry from which an in-window
     /// ordering replay must squash.
     pub fn oldest_vulnerable_read_of(&self, block: BlockAddr) -> Option<&RobEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.performed_read && !e.bound_at_head && e.block == Some(block))
+        self.entries.iter().find(|e| e.performed_read && !e.bound_at_head && e.block == Some(block))
     }
 }
 

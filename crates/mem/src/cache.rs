@@ -196,8 +196,7 @@ impl SetAssocCache {
     }
 
     fn line_is_spec(&self, idx: usize) -> bool {
-        (0..MAX_EPOCHS)
-            .any(|e| self.spec_read[e].get(idx) || self.spec_written[e].get(idx))
+        (0..MAX_EPOCHS).any(|e| self.spec_read[e].get(idx) || self.spec_written[e].get(idx))
     }
 
     fn clear_line_spec(&mut self, idx: usize) {
@@ -210,7 +209,12 @@ impl SetAssocCache {
     /// Installs `block` with the given state and data, returning the evicted
     /// line if a valid line had to be displaced. If the block is already
     /// present only its state and data are updated.
-    pub fn fill(&mut self, block: BlockAddr, state: LineState, data: BlockData) -> Option<EvictedLine> {
+    pub fn fill(
+        &mut self,
+        block: BlockAddr,
+        state: LineState,
+        data: BlockData,
+    ) -> Option<EvictedLine> {
         if let Some(i) = self.find(block) {
             self.lines[i].state = state;
             self.lines[i].data = data;

@@ -180,10 +180,7 @@ mod tests {
         m.allocate(blk(0x40), true, false, 0).unwrap();
         assert!(m.is_full());
         assert_eq!(m.allocate(blk(0x80), false, false, 0).unwrap_err(), MshrError::Full);
-        assert_eq!(
-            m.allocate(blk(0x00), false, false, 0).unwrap_err(),
-            MshrError::AlreadyPresent
-        );
+        assert_eq!(m.allocate(blk(0x00), false, false, 0).unwrap_err(), MshrError::AlreadyPresent);
     }
 
     #[test]

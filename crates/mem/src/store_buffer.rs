@@ -225,9 +225,7 @@ impl StoreBuffer {
     /// Returns true if any entry targets `block`.
     pub fn contains_block(&self, block: BlockAddr) -> bool {
         match &self.organization {
-            Organization::Fifo(q) | Organization::Scalable(q) => {
-                q.iter().any(|s| s.block == block)
-            }
+            Organization::Fifo(q) | Organization::Scalable(q) => q.iter().any(|s| s.block == block),
             Organization::Coalescing(v) => v.iter().any(|e| e.block == block),
         }
     }
@@ -554,11 +552,9 @@ mod tests {
 
     #[test]
     fn from_config_matches_kind() {
-        for kind in [
-            StoreBufferKind::FifoWord,
-            StoreBufferKind::CoalescingBlock,
-            StoreBufferKind::Scalable,
-        ] {
+        for kind in
+            [StoreBufferKind::FifoWord, StoreBufferKind::CoalescingBlock, StoreBufferKind::Scalable]
+        {
             let sb = StoreBuffer::from_config(&StoreBufferConfig { kind, entries: 4 }, 64);
             assert_eq!(sb.kind(), kind);
             assert_eq!(sb.capacity(), 4);

@@ -66,18 +66,18 @@ impl VictimCache {
         if let Some(pos) = self.entries.iter().position(|(b, _, _)| *b == block) {
             self.entries.remove(pos);
         }
-        let displaced = if self.entries.len() >= self.capacity {
-            self.entries.pop_front()
-        } else {
-            None
-        };
+        let displaced =
+            if self.entries.len() >= self.capacity { self.entries.pop_front() } else { None };
         self.entries.push_back((block, state, data));
         displaced
     }
 
     /// Inserts a line evicted from the L1 (convenience wrapper over
     /// [`VictimCache::insert`]).
-    pub fn insert_evicted(&mut self, line: &EvictedLine) -> Option<(BlockAddr, LineState, BlockData)> {
+    pub fn insert_evicted(
+        &mut self,
+        line: &EvictedLine,
+    ) -> Option<(BlockAddr, LineState, BlockData)> {
         self.insert(line.block, line.state, line.data)
     }
 

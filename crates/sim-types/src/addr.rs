@@ -5,7 +5,6 @@
 //! address truncated to a cache-block boundary. Newtypes keep the two from
 //! being confused (a classic simulator bug).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Simulated time, measured in processor clock cycles.
@@ -20,7 +19,7 @@ pub type Cycle = u64;
 /// assert_eq!(a.raw(), 0x40);
 /// assert_eq!(a.offset(0x8).raw(), 0x48);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -67,7 +66,7 @@ impl From<u64> for Addr {
 }
 
 /// Index of an 8-byte word within a cache block (0..block_bytes/8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct WordOffset(pub u8);
 
 impl WordOffset {
@@ -91,7 +90,7 @@ impl WordOffset {
 /// assert_eq!(a, b);
 /// assert_eq!(a.byte_addr().raw(), 0x40);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockAddr {
     number: u64,
     block_bytes: u32,
@@ -104,10 +103,7 @@ impl BlockAddr {
     /// Panics if `block_bytes` is not a power of two.
     pub fn containing(addr: Addr, block_bytes: usize) -> Self {
         assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
-        BlockAddr {
-            number: addr.raw() / block_bytes as u64,
-            block_bytes: block_bytes as u32,
-        }
+        BlockAddr { number: addr.raw() / block_bytes as u64, block_bytes: block_bytes as u32 }
     }
 
     /// Returns the block number (byte address / block size).
@@ -140,7 +136,7 @@ impl fmt::Display for BlockAddr {
 /// let c = CoreId(3);
 /// assert_eq!(c.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub usize);
 
 impl CoreId {

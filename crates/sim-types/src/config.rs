@@ -7,11 +7,10 @@
 
 use crate::model::{ConsistencyModel, StoreBufferKind};
 use crate::stall::CycleClass;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Parameters of a single level of cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -56,7 +55,7 @@ impl CacheConfig {
 }
 
 /// Parameters of the shared (address-interleaved) L2 and memory behind it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Config {
     /// Total L2 capacity in bytes (the paper's unified 8 MB).
     pub size_bytes: usize,
@@ -84,7 +83,7 @@ impl L2Config {
 }
 
 /// Store-buffer organization and capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreBufferConfig {
     /// Organization (FIFO word / coalescing block / scalable).
     pub kind: StoreBufferKind,
@@ -99,7 +98,7 @@ impl fmt::Display for StoreBufferConfig {
 }
 
 /// Out-of-order core parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Reorder-buffer capacity (the paper's 96 entries).
     pub rob_size: usize,
@@ -129,7 +128,7 @@ impl CoreConfig {
 }
 
 /// 2D-torus interconnect and directory latency parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InterconnectConfig {
     /// Torus width (the paper's 4×4).
     pub mesh_width: usize,
@@ -144,12 +143,7 @@ pub struct InterconnectConfig {
 impl InterconnectConfig {
     /// The paper's 4×4 torus with 25 ns per hop and a 1 GHz protocol controller.
     pub fn paper_torus() -> Self {
-        InterconnectConfig {
-            mesh_width: 4,
-            mesh_height: 4,
-            hop_latency: 100,
-            directory_latency: 8,
-        }
+        InterconnectConfig { mesh_width: 4, mesh_height: 4, hop_latency: 100, directory_latency: 8 }
     }
 
     /// Number of nodes in the torus.
@@ -175,7 +169,7 @@ impl InterconnectConfig {
 }
 
 /// Policy parameters for post-retirement speculation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpeculationConfig {
     /// Number of register checkpoints (1 for InvisiFence-Selective's default,
     /// 2 for the two-checkpoint variant and for InvisiFence-Continuous).
@@ -212,7 +206,7 @@ impl Default for SpeculationConfig {
 }
 
 /// Which memory-ordering implementation a core runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Conventional (non-speculative) implementation of the given model
     /// (Section 2.1 / Figure 2).
@@ -275,8 +269,7 @@ impl EngineKind {
             | EngineKind::Conventional(ConsistencyModel::Tso) => {
                 StoreBufferConfig { kind: StoreBufferKind::FifoWord, entries: 64 }
             }
-            EngineKind::Conventional(ConsistencyModel::Rmo)
-            | EngineKind::InvisiSelective(_) => {
+            EngineKind::Conventional(ConsistencyModel::Rmo) | EngineKind::InvisiSelective(_) => {
                 StoreBufferConfig { kind: StoreBufferKind::CoalescingBlock, entries: 8 }
             }
             EngineKind::InvisiSelectiveTwoCkpt(_) | EngineKind::InvisiContinuous { .. } => {
@@ -317,7 +310,7 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Complete configuration of the simulated multiprocessor (Figure 6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of cores / nodes (the paper's 16).
     pub cores: usize,
@@ -524,10 +517,7 @@ mod tests {
     #[test]
     fn engine_default_store_buffers_match_figure_6() {
         use ConsistencyModel::*;
-        assert_eq!(
-            EngineKind::Conventional(Sc).default_store_buffer().entries,
-            64
-        );
+        assert_eq!(EngineKind::Conventional(Sc).default_store_buffer().entries, 64);
         assert_eq!(
             EngineKind::Conventional(Tso).default_store_buffer().kind,
             StoreBufferKind::FifoWord
@@ -543,17 +533,13 @@ mod tests {
                 .entries,
             32
         );
-        assert_eq!(
-            EngineKind::InvisiSelectiveTwoCkpt(Sc).default_store_buffer().entries,
-            32
-        );
+        assert_eq!(EngineKind::InvisiSelectiveTwoCkpt(Sc).default_store_buffer().entries, 32);
     }
 
     #[test]
     fn continuous_config_gets_two_checkpoints() {
-        let cfg = MachineConfig::with_engine(EngineKind::InvisiContinuous {
-            commit_on_violate: true,
-        });
+        let cfg =
+            MachineConfig::with_engine(EngineKind::InvisiContinuous { commit_on_violate: true });
         assert_eq!(cfg.speculation.checkpoints, 2);
         assert!(cfg.speculation.commit_on_violate);
         cfg.validate().unwrap();
@@ -585,7 +571,7 @@ mod tests {
         // one register checkpoint, "approximately 1 KB of additional state".
         let cfg = MachineConfig::with_engine(EngineKind::InvisiSelective(ConsistencyModel::Rmo));
         let bytes = cfg.speculative_state_bytes();
-        assert!(bytes >= 512 && bytes <= 1536, "got {bytes} bytes");
+        assert!((512..=1536).contains(&bytes), "got {bytes} bytes");
         let conventional = MachineConfig::paper_baseline();
         assert_eq!(conventional.speculative_state_bytes(), 0);
     }

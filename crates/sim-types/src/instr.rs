@@ -6,7 +6,6 @@
 //! trace from a checkpoint.
 
 use crate::addr::Addr;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of memory fence an instruction represents.
@@ -14,7 +13,7 @@ use std::fmt;
 /// Under RMO (the SPARC relaxed model the paper uses as its representative
 /// relaxed model) a *full* fence (`MEMBAR #Sync`-style) requires the store
 /// buffer to drain before any later memory operation retires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FenceKind {
     /// Orders everything before against everything after (drains the store buffer).
     Full,
@@ -26,7 +25,7 @@ pub enum FenceKind {
 }
 
 /// A single instruction of a core's trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstrKind {
     /// A load from the given byte address.
     Load(Addr),
@@ -71,7 +70,7 @@ impl InstrKind {
 
 /// A single traced instruction: its kind plus a stable index used to identify
 /// it for checkpoint/rollback and for litmus-test result collection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Instruction {
     /// What the instruction does.
     pub kind: InstrKind,
@@ -136,7 +135,7 @@ impl fmt::Display for Instruction {
 /// assert_eq!(p.len(), 3);
 /// assert_eq!(p.memory_op_count(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     instructions: Vec<Instruction>,
 }
@@ -194,18 +193,12 @@ impl Program {
 
     /// Counts fences in the program.
     pub fn fence_count(&self) -> usize {
-        self.instructions
-            .iter()
-            .filter(|i| matches!(i.kind, InstrKind::Fence(_)))
-            .count()
+        self.instructions.iter().filter(|i| matches!(i.kind, InstrKind::Fence(_))).count()
     }
 
     /// Counts atomic operations in the program.
     pub fn atomic_count(&self) -> usize {
-        self.instructions
-            .iter()
-            .filter(|i| matches!(i.kind, InstrKind::Atomic(..)))
-            .count()
+        self.instructions.iter().filter(|i| matches!(i.kind, InstrKind::Atomic(..))).count()
     }
 }
 

@@ -1,6 +1,5 @@
 //! Memory consistency models and store-buffer organizations (Figure 2).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -19,7 +18,7 @@ use std::str::FromStr;
 /// assert!(ConsistencyModel::Sc.is_stronger_than(ConsistencyModel::Tso));
 /// assert_eq!("tso".parse::<ConsistencyModel>().unwrap(), ConsistencyModel::Tso);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ConsistencyModel {
     /// Sequential consistency (e.g. MIPS).
     Sc,
@@ -100,7 +99,7 @@ impl FromStr for ConsistencyModel {
 }
 
 /// Store-buffer organizations used by the implementations in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StoreBufferKind {
     /// Age-ordered FIFO at 8-byte word granularity, fully-associatively
     /// searched for store→load forwarding (conventional SC and TSO).

@@ -1,6 +1,5 @@
 //! Execution-time classification: the five buckets of Figures 9, 11 and 12.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why instruction retirement is blocked on a given cycle.
@@ -9,7 +8,7 @@ use std::fmt;
 /// [`StallReason::StoreBufferFull`] → "SB full",
 /// [`StallReason::StoreBufferDrain`] → "SB drain",
 /// everything else → "Other".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallReason {
     /// A store (or atomic) cannot retire because the store buffer has no free entry.
     StoreBufferFull,
@@ -54,7 +53,7 @@ impl fmt::Display for StallReason {
 
 /// The five execution-time buckets of the paper's runtime breakdowns
 /// (Figures 9, 11 and 12).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CycleClass {
     /// Cycles in which at least one instruction retired.
     Busy,

@@ -7,7 +7,8 @@
 //! integration tests call them with [`ExperimentParams::quick_test`]-sized
 //! parameters and check the qualitative shape (who wins, what disappears).
 
-use crate::runner::{run_experiment, ExperimentParams};
+use crate::runner::ExperimentParams;
+use crate::sweep::ExperimentMatrix;
 use ifence_stats::{ColumnTable, RunSummary};
 use ifence_types::{ConsistencyModel, CycleClass, EngineKind};
 use ifence_workloads::WorkloadSpec;
@@ -31,26 +32,17 @@ impl FigureData {
         workloads: &[WorkloadSpec],
         params: &ExperimentParams,
     ) -> Self {
-        let mut per_workload = Vec::with_capacity(workloads.len());
-        for w in workloads {
-            let summaries: Vec<RunSummary> =
-                engines.iter().map(|e| run_experiment(*e, w, params)).collect();
-            per_workload.push((w.name.clone(), summaries));
-        }
         FigureData {
             figure: figure.to_string(),
             configs: engines.iter().map(|e| e.label()).collect(),
-            per_workload,
+            per_workload: ExperimentMatrix::new(engines, workloads).run(params),
         }
     }
 
     /// The summary for (workload, config label), if present.
     pub fn summary(&self, workload: &str, config: &str) -> Option<&RunSummary> {
         let idx = self.configs.iter().position(|c| c == config)?;
-        self.per_workload
-            .iter()
-            .find(|(w, _)| w == workload)
-            .and_then(|(_, runs)| runs.get(idx))
+        self.per_workload.iter().find(|(w, _)| w == workload).and_then(|(_, runs)| runs.get(idx))
     }
 
     /// Geometric-mean speedup of `config` over `baseline` across workloads.
@@ -181,15 +173,17 @@ pub fn figure10(data: &FigureData) -> ColumnTable {
 
 /// Figure 11: ASOsc versus InvisiFence-SC with one and two checkpoints,
 /// runtime normalised to ASOsc.
-pub fn figure11(workloads: &[WorkloadSpec], params: &ExperimentParams) -> (FigureData, ColumnTable) {
+pub fn figure11(
+    workloads: &[WorkloadSpec],
+    params: &ExperimentParams,
+) -> (FigureData, ColumnTable) {
     let engines = [
         EngineKind::Aso(ConsistencyModel::Sc),
         EngineKind::InvisiSelective(ConsistencyModel::Sc),
         EngineKind::InvisiSelectiveTwoCkpt(ConsistencyModel::Sc),
     ];
     let data = FigureData::run("Figure 11", &engines, workloads, params);
-    let mut table =
-        ColumnTable::new(["workload", "config", "runtime % of ASOsc", "Violation %"]);
+    let mut table = ColumnTable::new(["workload", "config", "runtime % of ASOsc", "Violation %"]);
     for (workload, runs) in &data.per_workload {
         let baseline = &runs[0];
         for run in runs {
@@ -207,7 +201,10 @@ pub fn figure11(workloads: &[WorkloadSpec], params: &ExperimentParams) -> (Figur
 
 /// Figure 12: conventional SC and RMO versus InvisiFence-Continuous (with and
 /// without commit-on-violate) and InvisiFence-RMO, normalised to SC.
-pub fn figure12(workloads: &[WorkloadSpec], params: &ExperimentParams) -> (FigureData, ColumnTable) {
+pub fn figure12(
+    workloads: &[WorkloadSpec],
+    params: &ExperimentParams,
+) -> (FigureData, ColumnTable) {
     let engines = [
         EngineKind::Conventional(ConsistencyModel::Sc),
         EngineKind::InvisiContinuous { commit_on_violate: false },
@@ -280,6 +277,21 @@ mod tests {
         }
         assert!(data.mean_speedup("Invisi_sc", "sc") > 0.0);
         assert!(data.summary("Barnes", "nonexistent").is_none());
+    }
+
+    #[test]
+    fn figure_tables_are_byte_identical_across_parallelism() {
+        let workloads = one_workload();
+        let mut serial = quick();
+        serial.parallelism = 1;
+        let mut parallel = quick();
+        parallel.parallelism = 8;
+        let (_, t1) = figure1(&workloads, &serial);
+        let (_, t8) = figure1(&workloads, &parallel);
+        assert_eq!(t1.to_string(), t8.to_string());
+        let fig8_serial = figure8(&selective_matrix(&workloads, &serial)).to_string();
+        let fig8_parallel = figure8(&selective_matrix(&workloads, &parallel)).to_string();
+        assert_eq!(fig8_serial, fig8_parallel);
     }
 
     #[test]

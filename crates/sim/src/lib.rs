@@ -13,9 +13,13 @@
 //!   engine and return a [`ifence_stats::RunSummary`]; experiment sizes are
 //!   controlled by [`runner::ExperimentParams`] (override with the
 //!   `IFENCE_INSTRS` / `IFENCE_SEED` environment variables).
+//! * [`sweep`] — the parallel experiment-sweep engine: an
+//!   [`sweep::ExperimentMatrix`] of (engine × workload) cells executed across
+//!   scoped worker threads (`IFENCE_JOBS`, default: available cores) with
+//!   results collected in grid order, byte-identical at any parallelism.
 //! * [`figures`] — the per-figure experiment drivers that regenerate every
 //!   result figure of the paper (Figures 1, 8, 9, 10, 11, 12) as data plus a
-//!   printable table.
+//!   printable table, all routed through the sweep engine.
 //!
 //! # Example
 //!
@@ -38,6 +42,8 @@
 pub mod figures;
 pub mod machine;
 pub mod runner;
+pub mod sweep;
 
 pub use machine::{Machine, MachineResult};
-pub use runner::{run_experiment, run_litmus, ExperimentParams};
+pub use runner::{available_jobs, run_experiment, run_litmus, ExperimentParams};
+pub use sweep::{parallel_map, ExperimentMatrix};

@@ -69,9 +69,7 @@ impl Machine {
         let cores = programs
             .into_iter()
             .enumerate()
-            .map(|(i, program)| {
-                Core::new(CoreId(i), program, &cfg, build_engine(cfg.engine, &cfg))
-            })
+            .map(|(i, program)| Core::new(CoreId(i), program, &cfg, build_engine(cfg.engine, &cfg)))
             .collect();
         Ok(Machine { cfg, cores, fabric, now: 0 })
     }

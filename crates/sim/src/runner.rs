@@ -18,6 +18,36 @@ pub struct ExperimentParams {
     /// Use the full 16-core paper machine (`true`) or the reduced 4-core test
     /// machine (`false`).
     pub full_machine: bool,
+    /// Worker threads used when a grid of experiments is swept through
+    /// [`crate::sweep`] (the result is identical at any value; only the
+    /// wall-clock time changes). Defaults to the number of available cores;
+    /// override with the `IFENCE_JOBS` environment variable.
+    pub parallelism: usize,
+}
+
+/// The number of hardware threads available to this process (at least 1).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Reads and parses an environment variable, warning on stderr (and keeping
+/// `default`) when the value is present but unparseable — a silent fallback
+/// would make a typo in e.g. `IFENCE_SEED=0x7` regenerate every figure with
+/// the wrong seed and no indication why.
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(raw) => match raw.trim().parse::<T>() {
+            Ok(value) => value,
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring unparseable {name}={raw:?} (expected an unsigned integer); \
+                     using the default"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 impl Default for ExperimentParams {
@@ -27,26 +57,22 @@ impl Default for ExperimentParams {
             seed: 0x1F3C_E5EE,
             max_cycles: 200_000_000,
             full_machine: true,
+            parallelism: available_jobs(),
         }
     }
 }
 
 impl ExperimentParams {
     /// Parameters for the benchmark harness: the paper-scale machine, with the
-    /// trace length and seed overridable through the `IFENCE_INSTRS` and
-    /// `IFENCE_SEED` environment variables.
+    /// trace length, seed and sweep parallelism overridable through the
+    /// `IFENCE_INSTRS`, `IFENCE_SEED` and `IFENCE_JOBS` environment
+    /// variables. Unparseable values warn on stderr and keep the default.
     pub fn from_env() -> Self {
         let mut params = ExperimentParams::default();
-        if let Ok(v) = std::env::var("IFENCE_INSTRS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                params.instructions_per_core = n.max(1);
-            }
-        }
-        if let Ok(v) = std::env::var("IFENCE_SEED") {
-            if let Ok(n) = v.trim().parse::<u64>() {
-                params.seed = n;
-            }
-        }
+        params.instructions_per_core =
+            env_parse("IFENCE_INSTRS", params.instructions_per_core).max(1);
+        params.seed = env_parse("IFENCE_SEED", params.seed);
+        params.parallelism = env_parse("IFENCE_JOBS", params.parallelism).max(1);
         params
     }
 
@@ -58,7 +84,13 @@ impl ExperimentParams {
             seed: 7,
             max_cycles: 20_000_000,
             full_machine: false,
+            parallelism: available_jobs(),
         }
+    }
+
+    /// The worker-thread count sweeps should use (always at least 1).
+    pub fn effective_jobs(&self) -> usize {
+        self.parallelism.max(1)
     }
 
     fn config_for(&self, engine: EngineKind) -> MachineConfig {

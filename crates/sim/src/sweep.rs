@@ -1,0 +1,212 @@
+//! Parallel experiment-sweep engine.
+//!
+//! Every figure of the paper compares a grid of (ordering engine × workload)
+//! cells, and each cell is an independent, deterministic simulation: the
+//! result of a cell is fully determined by the engine, the workload spec and
+//! the [`ExperimentParams`] (in particular the seed), never by when or on
+//! which thread the cell happens to run. That independence is what this
+//! module exploits: an [`ExperimentMatrix`] executes its cells across a pool
+//! of scoped worker threads and collects the results in grid order, so the
+//! output is **byte-identical for a fixed seed regardless of the worker
+//! count** — only the wall-clock time changes.
+//!
+//! The worker count comes from [`ExperimentParams::parallelism`] (defaulting
+//! to the number of available cores, overridable with the `IFENCE_JOBS`
+//! environment variable).
+//!
+//! # Example
+//!
+//! ```
+//! use ifence_sim::sweep::ExperimentMatrix;
+//! use ifence_sim::ExperimentParams;
+//! use ifence_types::{ConsistencyModel, EngineKind};
+//! use ifence_workloads::WorkloadSpec;
+//!
+//! let engines = [
+//!     EngineKind::Conventional(ConsistencyModel::Rmo),
+//!     EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+//! ];
+//! let workloads = [WorkloadSpec::uniform("demo")];
+//! let mut params = ExperimentParams::quick_test();
+//! params.instructions_per_core = 400;
+//! let grid = ExperimentMatrix::new(&engines, &workloads).run(&params);
+//! assert_eq!(grid.len(), 1);
+//! assert_eq!(grid[0].1.len(), 2);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::runner::{run_experiment, ExperimentParams};
+use ifence_stats::RunSummary;
+use ifence_types::EngineKind;
+use ifence_workloads::WorkloadSpec;
+
+/// Applies `f` to every item with up to `jobs` worker threads and returns the
+/// results **in input order**, regardless of how the items were scheduled.
+///
+/// This is the primitive under [`ExperimentMatrix`]; it is exposed so other
+/// grid-shaped sweeps (the bench harness's configuration ablations, for
+/// example) can run through the same engine. Workers pull the next unclaimed
+/// index from a shared counter, so long and short items load-balance
+/// automatically. `jobs <= 1` degrades to a plain serial loop on the calling
+/// thread.
+///
+/// # Panics
+/// Propagates a panic from any invocation of `f` once all workers have been
+/// joined.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// The (engine × workload) grid of one experiment sweep.
+///
+/// Cells are executed via [`parallel_map`] and collected workload-major, in
+/// the exact order a serial double loop over `workloads` then `engines` would
+/// produce. Every cell runs with the same [`ExperimentParams`] — notably the
+/// same seed, since comparing engines is only meaningful on identical traces
+/// — so the grid is deterministic for a fixed seed at any parallelism.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentMatrix<'a> {
+    engines: &'a [EngineKind],
+    workloads: &'a [WorkloadSpec],
+}
+
+impl<'a> ExperimentMatrix<'a> {
+    /// A matrix running each of `engines` on each of `workloads`.
+    pub fn new(engines: &'a [EngineKind], workloads: &'a [WorkloadSpec]) -> Self {
+        ExperimentMatrix { engines, workloads }
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.engines.len() * self.workloads.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs every cell and returns `(workload name, summaries)` rows where
+    /// `summaries[i]` ran under `engines[i]`.
+    pub fn run(&self, params: &ExperimentParams) -> Vec<(String, Vec<RunSummary>)> {
+        let cells: Vec<(usize, usize)> = (0..self.workloads.len())
+            .flat_map(|w| (0..self.engines.len()).map(move |e| (w, e)))
+            .collect();
+        let summaries = parallel_map(&cells, params.effective_jobs(), |_, &(w, e)| {
+            run_experiment(self.engines[e], &self.workloads[w], params)
+        });
+        let mut rows: Vec<(String, Vec<RunSummary>)> = self
+            .workloads
+            .iter()
+            .map(|w| (w.name.clone(), Vec::with_capacity(self.engines.len())))
+            .collect();
+        for ((w, _), summary) in cells.into_iter().zip(summaries) {
+            rows[w].1.push(summary);
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifence_types::ConsistencyModel;
+    use ifence_workloads::presets;
+
+    fn quick(parallelism: usize) -> ExperimentParams {
+        let mut p = ExperimentParams::quick_test();
+        p.instructions_per_core = 600;
+        p.parallelism = parallelism;
+        p
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for jobs in [1, 2, 8, 64] {
+            let out = parallel_map(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let out: Vec<usize> = parallel_map(&[], 8, |_, x: &usize| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matrix_rows_are_workload_major_and_engine_ordered() {
+        let engines = [
+            EngineKind::Conventional(ConsistencyModel::Rmo),
+            EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+        ];
+        let workloads = [presets::barnes(), presets::ocean()];
+        let matrix = ExperimentMatrix::new(&engines, &workloads);
+        assert_eq!(matrix.len(), 4);
+        assert!(!matrix.is_empty());
+        let rows = matrix.run(&quick(2));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "Barnes");
+        assert_eq!(rows[1].0, "Ocean");
+        for (_, runs) in &rows {
+            assert_eq!(runs[0].config, "rmo");
+            assert_eq!(runs[1].config, "Invisi_rmo");
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_parallelism() {
+        // Same seed ⇒ identical cycles and identical aggregated per-core
+        // stats (breakdown + counters) whether the grid runs on one worker or
+        // many. This is the property that makes IFENCE_JOBS purely a
+        // wall-clock knob.
+        let engines = [
+            EngineKind::Conventional(ConsistencyModel::Rmo),
+            EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+        ];
+        let workloads = [presets::barnes(), presets::apache()];
+        let matrix = ExperimentMatrix::new(&engines, &workloads);
+        let serial = matrix.run(&quick(1));
+        for jobs in [2, 8] {
+            let parallel = matrix.run(&quick(jobs));
+            assert_eq!(serial, parallel, "results diverged at parallelism {jobs}");
+        }
+        for (workload, runs) in &serial {
+            for run in runs {
+                assert!(run.cycles > 0, "{workload}/{} ran", run.config);
+            }
+        }
+    }
+}

@@ -1,7 +1,6 @@
 //! Cycle-by-cycle execution-time attribution.
 
-use ifence_types::{CycleClass, Cycle};
-use serde::{Deserialize, Serialize};
+use ifence_types::{Cycle, CycleClass};
 use std::fmt;
 
 /// A histogram of cycles over the five [`CycleClass`] buckets.
@@ -16,7 +15,7 @@ use std::fmt;
 /// assert_eq!(b.get(CycleClass::Busy), 3);
 /// assert_eq!(b.total(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleBreakdown {
     counts: [u64; 5],
 }

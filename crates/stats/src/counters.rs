@@ -1,12 +1,10 @@
 //! Event counters gathered during simulation.
 
-use serde::{Deserialize, Serialize};
-
 /// Raw event counts for one core (or, after aggregation, a whole machine).
 ///
 /// Every field is a simple additive counter so machine-level statistics are
 /// obtained by summing per-core values with [`SimCounters::merge`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimCounters {
     /// Instructions retired (committed to architectural state).
     pub instructions_retired: u64,

@@ -3,11 +3,10 @@
 
 use crate::{CoreStats, CycleBreakdown, SimCounters};
 use ifence_types::Cycle;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Aggregated result of one simulation run (one workload × one configuration).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
     /// Label of the configuration (e.g. "Invisi_rmo").
     pub config: String,
@@ -97,8 +96,7 @@ pub fn confidence_interval_95(values: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(values);
-    let var =
-        values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() as f64 - 1.0);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() as f64 - 1.0);
     1.96 * (var / values.len() as f64).sqrt()
 }
 

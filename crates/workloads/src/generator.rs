@@ -1,9 +1,8 @@
 //! Expansion of a [`WorkloadSpec`] into deterministic per-core traces.
 
+use crate::rng::TraceRng;
 use crate::spec::WorkloadSpec;
 use ifence_types::{Addr, Instruction, Program};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 const BLOCK: u64 = 64;
 /// Base of the lock region (shared by all cores, one lock per block).
@@ -15,18 +14,18 @@ pub const PRIVATE_BASE: u64 = 0x4000_0000;
 /// Stride between consecutive cores' private regions.
 pub const PRIVATE_STRIDE: u64 = 0x0100_0000;
 
-fn shared_read_addr(spec: &WorkloadSpec, rng: &mut SmallRng) -> Addr {
+fn shared_read_addr(spec: &WorkloadSpec, rng: &mut TraceRng) -> Addr {
     // Reads cover the whole shared region, with a hot eighth providing
     // spatial locality (read-mostly shared data: indexes, metadata, code-like
     // structures).
     let blocks = spec.shared_blocks as u64;
     let hot = (blocks / 8).max(1);
-    let block = if rng.gen_bool(0.5) { rng.gen_range(0..hot) } else { rng.gen_range(0..blocks) };
-    let word = rng.gen_range(0..8u64);
+    let block = if rng.bool(0.5) { rng.range_u64(0..hot) } else { rng.range_u64(0..blocks) };
+    let word = rng.range_u64(0..8u64);
     Addr::new(SHARED_BASE + block * BLOCK + word * 8)
 }
 
-fn shared_write_addr(spec: &WorkloadSpec, core: usize, cores: usize, rng: &mut SmallRng) -> Addr {
+fn shared_write_addr(spec: &WorkloadSpec, core: usize, cores: usize, rng: &mut TraceRng) -> Addr {
     // Writes to shared data avoid the hot read-mostly eighth of the region
     // (indexes and metadata are read-shared, not write-shared) and go mostly
     // to a per-core partition (buffers and records currently owned by this
@@ -37,22 +36,22 @@ fn shared_write_addr(spec: &WorkloadSpec, core: usize, cores: usize, rng: &mut S
     let blocks = spec.shared_blocks as u64;
     let hot = (blocks / 8).max(1);
     let writable = (blocks - hot).max(1);
-    let block = if rng.gen_bool(0.03) {
-        hot + rng.gen_range(0..writable)
+    let block = if rng.bool(0.03) {
+        hot + rng.range_u64(0..writable)
     } else {
         let partition = (writable / cores.max(1) as u64).max(1);
         let base = hot + (partition * core as u64) % writable;
-        base + rng.gen_range(0..partition)
+        base + rng.range_u64(0..partition)
     };
-    let word = rng.gen_range(0..8u64);
+    let word = rng.range_u64(0..8u64);
     Addr::new(SHARED_BASE + (block % blocks) * BLOCK + word * 8)
 }
 
-fn private_addr(spec: &WorkloadSpec, core: usize, rng: &mut SmallRng) -> Addr {
+fn private_addr(spec: &WorkloadSpec, core: usize, rng: &mut TraceRng) -> Addr {
     let blocks = spec.private_blocks as u64;
     let hot = (blocks / 8).max(1);
-    let block = if rng.gen_bool(0.6) { rng.gen_range(0..hot) } else { rng.gen_range(0..blocks) };
-    let word = rng.gen_range(0..8u64);
+    let block = if rng.bool(0.6) { rng.range_u64(0..hot) } else { rng.range_u64(0..blocks) };
+    let word = rng.range_u64(0..8u64);
     Addr::new(PRIVATE_BASE + core as u64 * PRIVATE_STRIDE + block * BLOCK + word * 8)
 }
 
@@ -61,14 +60,14 @@ fn data_addr(
     core: usize,
     cores: usize,
     is_store: bool,
-    rng: &mut SmallRng,
+    rng: &mut TraceRng,
 ) -> Addr {
     // Stores touch shared data much less often than loads do: most shared
     // data (indexes, page caches, read-mostly metadata) is written rarely,
     // and it is this asymmetry that keeps the paper's violation rate low.
     let effective_fraction =
         if is_store { spec.shared_fraction * 0.3 } else { spec.shared_fraction };
-    if rng.gen_bool(effective_fraction) {
+    if rng.bool(effective_fraction) {
         if is_store {
             shared_write_addr(spec, core, cores, rng)
         } else {
@@ -79,11 +78,11 @@ fn data_addr(
     }
 }
 
-fn data_op(spec: &WorkloadSpec, core: usize, cores: usize, rng: &mut SmallRng) -> Instruction {
-    let is_store = rng.gen_bool(spec.store_fraction);
+fn data_op(spec: &WorkloadSpec, core: usize, cores: usize, rng: &mut TraceRng) -> Instruction {
+    let is_store = rng.bool(spec.store_fraction);
     let addr = data_addr(spec, core, cores, is_store, rng);
     if is_store {
-        Instruction::store(addr, rng.gen::<u32>() as u64)
+        Instruction::store(addr, rng.next_u32() as u64)
     } else {
         Instruction::load(addr)
     }
@@ -92,10 +91,10 @@ fn data_op(spec: &WorkloadSpec, core: usize, cores: usize, rng: &mut SmallRng) -
 fn emit_critical_section(
     spec: &WorkloadSpec,
     core: usize,
-    rng: &mut SmallRng,
+    rng: &mut TraceRng,
     program: &mut Program,
 ) {
-    let lock_index = rng.gen_range(0..spec.locks) as u64;
+    let lock_index = rng.range_usize(0..spec.locks) as u64;
     let lock = Addr::new(LOCK_BASE + lock_index * BLOCK);
     // Acquire: atomic read-modify-write on the lock, ordered by a fence.
     program.push(Instruction::atomic(lock, core as u64 + 1));
@@ -105,20 +104,20 @@ fn emit_critical_section(
     // that only conflicts when two cores contend the same lock), interleaved
     // with a little computation.
     let body_len = (spec.critical_section_len / 2).max(1)
-        + rng.gen_range(0..=spec.critical_section_len.max(1));
+        + rng.range_inclusive_usize(0, spec.critical_section_len.max(1));
     let slice_blocks = 8u64;
     let base_block = (lock_index * slice_blocks) % spec.shared_blocks as u64;
     for _ in 0..body_len {
-        if rng.gen_bool(spec.mem_fraction.clamp(0.05, 0.95)) {
-            let block = (base_block + rng.gen_range(0..slice_blocks)) % spec.shared_blocks as u64;
-            let addr = Addr::new(SHARED_BASE + block * BLOCK + rng.gen_range(0..8u64) * 8);
-            if rng.gen_bool(spec.store_fraction) {
-                program.push(Instruction::store(addr, rng.gen::<u32>() as u64));
+        if rng.bool(spec.mem_fraction.clamp(0.05, 0.95)) {
+            let block = (base_block + rng.range_u64(0..slice_blocks)) % spec.shared_blocks as u64;
+            let addr = Addr::new(SHARED_BASE + block * BLOCK + rng.range_u64(0..8u64) * 8);
+            if rng.bool(spec.store_fraction) {
+                program.push(Instruction::store(addr, rng.next_u32() as u64));
             } else {
                 program.push(Instruction::load(addr));
             }
         } else {
-            program.push(Instruction::op(rng.gen_range(1..=2)));
+            program.push(Instruction::op(rng.range_inclusive_usize(1, 2) as u8));
         }
     }
     // Release: ordinary store of zero to the lock, ordered by a fence.
@@ -130,13 +129,13 @@ fn emit_store_burst(
     spec: &WorkloadSpec,
     core: usize,
     cores: usize,
-    rng: &mut SmallRng,
+    rng: &mut TraceRng,
     program: &mut Program,
 ) {
     let start = data_addr(spec, core, cores, true, rng);
     for i in 0..spec.store_burst_len as u64 {
         let addr = start.offset(i * BLOCK);
-        program.push(Instruction::store(addr, rng.gen::<u32>() as u64));
+        program.push(Instruction::store(addr, rng.next_u32() as u64));
     }
 }
 
@@ -147,10 +146,10 @@ fn generate_core(
     instructions: usize,
     seed: u64,
 ) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = TraceRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut program = Program::new();
     while program.len() < instructions {
-        let roll: f64 = rng.gen();
+        let roll = rng.f64();
         if roll < spec.critical_section_rate {
             emit_critical_section(spec, core, &mut rng, &mut program);
         } else if roll < spec.critical_section_rate + spec.store_burst_rate {
@@ -165,7 +164,7 @@ fn generate_core(
         {
             program.push(data_op(spec, core, cores, &mut rng));
         } else {
-            program.push(Instruction::op(rng.gen_range(1..=3)));
+            program.push(Instruction::op(rng.range_inclusive_usize(1, 3) as u8));
         }
     }
     program
@@ -228,10 +227,7 @@ mod tests {
         let p = &s.generate(1, 50_000, 1)[0];
         let mem = p.memory_op_count() as f64 / p.len() as f64;
         assert!((mem - 0.5).abs() < 0.03, "memory fraction {mem} should be near 0.5");
-        let stores = p
-            .iter()
-            .filter(|i| matches!(i.kind, InstrKind::Store(..)))
-            .count() as f64
+        let stores = p.iter().filter(|i| matches!(i.kind, InstrKind::Store(..))).count() as f64
             / p.memory_op_count() as f64;
         assert!((stores - 0.4).abs() < 0.04, "store fraction {stores} should be near 0.4");
     }

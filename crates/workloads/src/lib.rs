@@ -34,8 +34,10 @@
 pub mod generator;
 pub mod litmus;
 pub mod presets;
+pub mod rng;
 pub mod spec;
 
 pub use litmus::{LitmusKind, LitmusTest};
 pub use presets::{all_presets, by_name};
+pub use rng::TraceRng;
 pub use spec::WorkloadSpec;

@@ -144,11 +144,7 @@ impl LitmusTest {
     /// a correct one.
     pub fn count_forbidden(&self, results: &[Vec<(usize, u64)>]) -> usize {
         let value_of = |core: usize, index: usize| -> Option<u64> {
-            results
-                .get(core)?
-                .iter()
-                .find(|(i, _)| *i == index)
-                .map(|(_, v)| *v)
+            results.get(core)?.iter().find(|(i, _)| *i == index).map(|(_, v)| *v)
         };
         self.observations
             .iter()

@@ -1,7 +1,5 @@
 //! The statistical model of a workload.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters describing the memory behaviour of one workload.
 ///
 /// A `WorkloadSpec` is a compact statistical stand-in for the full-system
@@ -10,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// data is shared, and how large the per-core working set is (and therefore
 /// the L1 miss rate). [`WorkloadSpec::generate`](crate::generator) expands it
 /// into deterministic per-core instruction traces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Display name (matches the paper's workload labels).
     pub name: String,

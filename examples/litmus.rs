@@ -27,10 +27,14 @@ fn main() {
     ]);
 
     for engine in configs {
-        let mp_plain = run_litmus(engine, &LitmusTest::message_passing(iterations, false), 40_000_000);
-        let mp_fenced = run_litmus(engine, &LitmusTest::message_passing(iterations, true), 40_000_000);
-        let sb_plain = run_litmus(engine, &LitmusTest::store_buffering(iterations, false), 40_000_000);
-        let sb_fenced = run_litmus(engine, &LitmusTest::store_buffering(iterations, true), 40_000_000);
+        let mp_plain =
+            run_litmus(engine, &LitmusTest::message_passing(iterations, false), 40_000_000);
+        let mp_fenced =
+            run_litmus(engine, &LitmusTest::message_passing(iterations, true), 40_000_000);
+        let sb_plain =
+            run_litmus(engine, &LitmusTest::store_buffering(iterations, false), 40_000_000);
+        let sb_fenced =
+            run_litmus(engine, &LitmusTest::store_buffering(iterations, true), 40_000_000);
         let cell = |n: usize| {
             if n == 0 {
                 format!("0 / {iterations} forbidden")

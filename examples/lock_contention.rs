@@ -13,8 +13,7 @@
 use invisifence_repro::prelude::*;
 
 fn main() {
-    let mut params = ExperimentParams::default();
-    params.instructions_per_core = 4_000;
+    let params = ExperimentParams { instructions_per_core: 4_000, ..Default::default() };
 
     let mut table = ColumnTable::new([
         "critical sections / 1k instr",

@@ -10,8 +10,7 @@ use invisifence_repro::prelude::*;
 fn main() {
     // A reduced-size experiment so the example finishes in a few seconds; use
     // `ExperimentParams::from_env()` (IFENCE_INSTRS=...) for larger runs.
-    let mut params = ExperimentParams::default();
-    params.instructions_per_core = 5_000;
+    let params = ExperimentParams { instructions_per_core: 5_000, ..Default::default() };
 
     let workload = presets::apache();
     println!("Workload: {} — {}", workload.name, workload.description);

@@ -37,8 +37,7 @@ fn every_engine_completes_every_preset_workload_sample() {
         let summary = run_experiment(engine, workload, &params);
         assert!(summary.cycles > 0, "{}: no cycles simulated", engine.label());
         assert!(
-            summary.counters.instructions_retired as usize
-                >= params.instructions_per_core * 4,
+            summary.counters.instructions_retired as usize >= params.instructions_per_core * 4,
             "{}: not all instructions retired on {}",
             engine.label(),
             workload.name
@@ -56,9 +55,8 @@ fn conventional_ordering_stalls_shrink_as_the_model_weakens() {
     let tso = run_experiment(EngineKind::Conventional(ConsistencyModel::Tso), &workload, &params);
     let rmo = run_experiment(EngineKind::Conventional(ConsistencyModel::Rmo), &workload, &params);
 
-    let penalty = |s: &RunSummary| {
-        s.breakdown.get(CycleClass::SbDrain) + s.breakdown.get(CycleClass::SbFull)
-    };
+    let penalty =
+        |s: &RunSummary| s.breakdown.get(CycleClass::SbDrain) + s.breakdown.get(CycleClass::SbFull);
     assert!(
         penalty(&sc) > penalty(&rmo),
         "SC must pay more ordering stalls than RMO ({} vs {})",

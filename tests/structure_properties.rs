@@ -1,56 +1,76 @@
-//! Property-based tests on the core data structures and their invariants.
+//! Property-style tests on the core data structures and their invariants.
+//!
+//! Each property is checked over many randomized cases driven by the
+//! workspace's own deterministic [`TraceRng`] (the workspace builds offline,
+//! without proptest), so failures reproduce exactly from the printed case
+//! seed.
 
 use ifence_mem::{BlockData, LineState, SetAssocCache, SpecBitArray, StoreBuffer};
 use ifence_types::{Addr, BlockAddr, CacheConfig};
-use proptest::prelude::*;
+use ifence_workloads::TraceRng;
+
+const CASES: u64 = 64;
 
 fn block(byte: u64) -> BlockAddr {
     BlockAddr::containing(Addr::new(byte), 64)
 }
 
-proptest! {
-    /// Flash clear always leaves every bit clear, no matter the set/clear history.
-    #[test]
-    fn spec_bits_flash_clear_resets_everything(ops in proptest::collection::vec(0usize..256, 0..200)) {
+fn random_vec(rng: &mut TraceRng, max_len: usize, bound: u64) -> Vec<u64> {
+    let len = rng.range_usize(0..max_len + 1);
+    (0..len).map(|_| rng.range_u64(0..bound)).collect()
+}
+
+/// Flash clear always leaves every bit clear, no matter the set/clear history.
+#[test]
+fn spec_bits_flash_clear_resets_everything() {
+    for case in 0..CASES {
+        let mut rng = TraceRng::seed_from_u64(case);
+        let ops = random_vec(&mut rng, 200, 256);
         let mut bits = SpecBitArray::new(256);
         for (i, op) in ops.iter().enumerate() {
             if i % 7 == 3 {
-                bits.clear(*op);
+                bits.clear(*op as usize);
             } else {
-                bits.set(*op);
+                bits.set(*op as usize);
             }
         }
         bits.flash_clear();
-        prop_assert!(bits.none_set());
-        prop_assert_eq!(bits.count_set(), 0);
+        assert!(bits.none_set(), "case {case}");
+        assert_eq!(bits.count_set(), 0, "case {case}");
     }
+}
 
-    /// The set-bit log never reports a bit that `get` says is clear, and
-    /// `count_set` matches a brute-force count.
-    #[test]
-    fn spec_bits_log_is_consistent(sets in proptest::collection::vec(0usize..64, 0..100),
-                                   clears in proptest::collection::vec(0usize..64, 0..100)) {
+/// The set-bit log never reports a bit that `get` says is clear, and
+/// `count_set` matches a brute-force count.
+#[test]
+fn spec_bits_log_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = TraceRng::seed_from_u64(0x1000 + case);
+        let sets = random_vec(&mut rng, 100, 64);
+        let clears = random_vec(&mut rng, 100, 64);
         let mut bits = SpecBitArray::new(64);
         for s in &sets {
-            bits.set(*s);
+            bits.set(*s as usize);
         }
         for c in &clears {
-            bits.clear(*c);
+            bits.clear(*c as usize);
         }
         let brute: usize = (0..64).filter(|i| bits.get(*i)).count();
-        prop_assert_eq!(bits.count_set(), brute);
+        assert_eq!(bits.count_set(), brute, "case {case}");
         for idx in bits.iter_set() {
-            prop_assert!(bits.get(idx));
+            assert!(bits.get(idx), "case {case}: logged bit {idx} is clear");
         }
     }
+}
 
-    /// A coalescing store buffer never exceeds its capacity, never merges
-    /// across the speculative/non-speculative boundary, and forwarding always
-    /// returns the youngest value written to a word.
-    #[test]
-    fn coalescing_store_buffer_invariants(
-        stores in proptest::collection::vec((0u64..32, 0u64..8, any::<u64>(), proptest::option::of(0u8..2)), 1..64)
-    ) {
+/// A coalescing store buffer never exceeds its capacity, never merges across
+/// the speculative/non-speculative boundary, and forwarding always returns
+/// the youngest value written to a word.
+#[test]
+fn coalescing_store_buffer_invariants() {
+    for case in 0..CASES {
+        let mut rng = TraceRng::seed_from_u64(0x2000 + case);
+        let n = rng.range_usize(1..64);
         let capacity = 8;
         let mut sb = StoreBuffer::new_coalescing(capacity, 64);
         // Forwarding is defined to prefer the highest-epoch entry for a word
@@ -58,30 +78,37 @@ proptest! {
         // executions); model exactly that rule here.
         let mut per_epoch: std::collections::HashMap<(u64, u64, i16), u64> =
             std::collections::HashMap::new();
-        for (blk_idx, word, value, epoch) in stores {
+        for _ in 0..n {
+            let blk_idx = rng.range_u64(0..32);
+            let word = rng.range_u64(0..8);
+            let value = rng.next_u64();
+            let epoch = if rng.bool(0.5) { Some(rng.range_u64(0..2) as u8) } else { None };
             let addr = Addr::new(blk_idx * 64 + word * 8);
             if sb.push(addr, value, epoch).is_ok() {
                 let key = (blk_idx, word, epoch.map(|e| e as i16).unwrap_or(-1));
                 per_epoch.insert(key, value);
-                prop_assert!(sb.len() <= capacity);
+                assert!(sb.len() <= capacity, "case {case}");
             }
-            let expected = (-1..2)
-                .rev()
-                .find_map(|e| per_epoch.get(&(blk_idx, word, e)).copied());
+            let expected = (-1..2).rev().find_map(|e| per_epoch.get(&(blk_idx, word, e)).copied());
             if let Some(expected) = expected {
-                prop_assert_eq!(sb.forward(addr), Some(expected));
+                assert_eq!(sb.forward(addr), Some(expected), "case {case}");
             }
         }
         // Epoch-exact invalidation removes exactly the tagged entries.
         let spec_before = sb.speculative_len();
         let removed = sb.flash_invalidate_exact(0) + sb.flash_invalidate_exact(1);
-        prop_assert_eq!(removed, spec_before);
-        prop_assert!(!sb.has_speculative());
+        assert_eq!(removed, spec_before, "case {case}");
+        assert!(!sb.has_speculative(), "case {case}");
     }
+}
 
-    /// A FIFO store buffer drains blocks in insertion order.
-    #[test]
-    fn fifo_store_buffer_preserves_order(blocks in proptest::collection::vec(0u64..16, 1..32)) {
+/// A FIFO store buffer drains blocks in insertion order.
+#[test]
+fn fifo_store_buffer_preserves_order() {
+    for case in 0..CASES {
+        let mut rng = TraceRng::seed_from_u64(0x3000 + case);
+        let len = rng.range_usize(1..32);
+        let blocks: Vec<u64> = (0..len).map(|_| rng.range_u64(0..16)).collect();
         let mut sb = StoreBuffer::new_fifo(64, 64);
         for (i, b) in blocks.iter().enumerate() {
             sb.push(Addr::new(b * 64), i as u64, None).unwrap();
@@ -91,26 +118,29 @@ proptest! {
             let entry = sb.drain_block(blk).unwrap();
             drained.push(entry.block.number());
         }
-        prop_assert!(sb.is_empty());
+        assert!(sb.is_empty(), "case {case}");
         // The sequence of drained blocks is the insertion sequence with
-        // consecutive duplicates collapsed.
+        // consecutive duplicates collapsed: collapsing only merges *adjacent*
+        // same-block runs, so the drained list cannot be longer than the
+        // insertion list and must preserve relative order of first
+        // occurrences.
         let mut expected = Vec::new();
         for b in &blocks {
             if expected.last() != Some(b) {
                 expected.push(*b);
             }
         }
-        // Collapsing only merges *adjacent* same-block runs, so the drained
-        // list cannot be longer than the insertion list and must preserve
-        // relative order of first occurrences.
-        prop_assert_eq!(drained.len(), expected.len());
-        prop_assert_eq!(drained, expected);
+        assert_eq!(drained, expected, "case {case}");
     }
+}
 
-    /// The cache never holds two lines for the same block, and its valid-line
-    /// count never exceeds its capacity.
-    #[test]
-    fn cache_uniqueness_and_capacity(accesses in proptest::collection::vec(0u64..128, 1..300)) {
+/// The cache never holds two lines for the same block, and its valid-line
+/// count never exceeds its capacity.
+#[test]
+fn cache_uniqueness_and_capacity() {
+    for case in 0..CASES {
+        let mut rng = TraceRng::seed_from_u64(0x4000 + case);
+        let n = rng.range_usize(1..300);
         let cfg = CacheConfig {
             size_bytes: 2 * 1024,
             associativity: 2,
@@ -122,25 +152,27 @@ proptest! {
         };
         let capacity = cfg.blocks();
         let mut cache = SetAssocCache::new(&cfg);
-        for a in accesses {
-            let b = block(a * 64);
+        for _ in 0..n {
+            let b = block(rng.range_u64(0..128) * 64);
             cache.fill(b, LineState::Shared, BlockData::zeroed());
-            prop_assert!(cache.valid_lines() <= capacity);
-            prop_assert!(cache.contains(b), "a just-filled block is resident");
+            assert!(cache.valid_lines() <= capacity, "case {case}");
+            assert!(cache.contains(b), "case {case}: a just-filled block is resident");
         }
         let mut seen = std::collections::HashSet::new();
         for (blk, _) in cache.iter_valid() {
-            prop_assert!(seen.insert(blk.number()), "duplicate resident block");
+            assert!(seen.insert(blk.number()), "case {case}: duplicate resident block");
         }
     }
+}
 
-    /// Flash-invalidating speculatively-written lines removes exactly those
-    /// lines and clears every speculative mark.
-    #[test]
-    fn cache_abort_invalidates_only_written_lines(
-        reads in proptest::collection::vec(0u64..32, 0..20),
-        writes in proptest::collection::vec(0u64..32, 0..20),
-    ) {
+/// Flash-invalidating speculatively-written lines removes exactly those lines
+/// and clears every speculative mark.
+#[test]
+fn cache_abort_invalidates_only_written_lines() {
+    for case in 0..CASES {
+        let mut rng = TraceRng::seed_from_u64(0x5000 + case);
+        let reads = random_vec(&mut rng, 20, 32);
+        let writes = random_vec(&mut rng, 20, 32);
         let cfg = CacheConfig {
             size_bytes: 4 * 1024,
             associativity: 4,
@@ -163,14 +195,14 @@ proptest! {
         }
         let invalidated = cache.flash_invalidate_written(0);
         for b in &invalidated {
-            prop_assert_eq!(cache.state(*b), LineState::Invalid);
+            assert_eq!(cache.state(*b), LineState::Invalid, "case {case}");
         }
-        prop_assert!(!cache.has_spec_lines());
+        assert!(!cache.has_spec_lines(), "case {case}");
         // Read-only speculative blocks survive the abort (they are simply
         // unmarked), unless the same block was also written.
         for r in &reads {
             if !writes.contains(r) {
-                prop_assert!(cache.state(block(r * 64)).readable());
+                assert!(cache.state(block(r * 64)).readable(), "case {case}");
             }
         }
     }
