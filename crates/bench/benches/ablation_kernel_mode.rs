@@ -1,0 +1,77 @@
+//! Ablation: wall-clock cost of the dense (poll-every-cycle) simulation
+//! kernel versus the event-driven kernel that skips quiescent cycles.
+//!
+//! The comparison targets the regime the event-driven kernel was built for:
+//! conventional SC on a lock-heavy commercial workload at paper-like
+//! latencies spends most of its simulated cycles in SB-drain/SB-full stalls
+//! (Figure 1), which is exactly where per-cycle polling wastes the most work.
+//! Simulated results are byte-identical between the two kernels (asserted
+//! here and in `tests/kernel_equivalence.rs`); only the wall-clock time
+//! differs. Setting `IFENCE_DENSE=1` forces both rows dense, collapsing the
+//! ratio to ~1.
+
+use ifence_bench::{paper_params, print_header};
+use ifence_stats::ColumnTable;
+use ifence_types::{ConsistencyModel, EngineKind, MachineConfig};
+use ifence_workloads::presets;
+use std::time::Instant;
+
+fn timed_run(
+    engine: EngineKind,
+    dense: bool,
+    params: &ifence_sim::ExperimentParams,
+    workload: &ifence_workloads::WorkloadSpec,
+) -> (u64, f64) {
+    let mut cfg = MachineConfig::with_engine(engine);
+    cfg.seed = params.seed;
+    cfg.dense_kernel = dense;
+    let programs = workload.generate(cfg.cores, params.instructions_per_core, params.seed);
+    let machine = ifence_sim::Machine::new(cfg, programs).expect("valid config");
+    let start = Instant::now();
+    let result = machine.into_result(params.max_cycles);
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    assert!(result.finished, "{}: run did not finish", engine.label());
+    (result.cycles, elapsed)
+}
+
+fn main() {
+    let params = paper_params();
+    print_header(
+        "Ablation",
+        "simulation-kernel mode: dense polling vs event-driven cycle skipping",
+        &params,
+    );
+    let workload = presets::apache();
+    let engines = [
+        EngineKind::Conventional(ConsistencyModel::Sc),
+        EngineKind::Conventional(ConsistencyModel::Tso),
+        EngineKind::Conventional(ConsistencyModel::Rmo),
+        EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        EngineKind::InvisiContinuous { commit_on_violate: true },
+    ];
+    let mut table =
+        ColumnTable::new(["engine", "cycles", "dense ms", "event-driven ms", "speedup"]);
+    // Timed serially (never through the parallel sweep): concurrent cells
+    // would contend for cores and corrupt the wall-clock comparison.
+    for engine in engines {
+        let (dense_cycles, dense_ms) = timed_run(engine, true, &params, &workload);
+        let (skip_cycles, skip_ms) = timed_run(engine, false, &params, &workload);
+        assert_eq!(
+            dense_cycles,
+            skip_cycles,
+            "{}: kernels disagree on simulated cycles",
+            engine.label()
+        );
+        table.push_row([
+            engine.label(),
+            dense_cycles.to_string(),
+            format!("{dense_ms:.1}"),
+            format!("{skip_ms:.1}"),
+            format!("{:.2}x", dense_ms / skip_ms.max(1e-9)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "(speedup = dense wall-clock / event-driven wall-clock; simulated results are identical)"
+    );
+}

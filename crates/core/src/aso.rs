@@ -340,11 +340,17 @@ impl OrderingEngine for AsoEngine {
         vec![EngineAction::Rollback { resume_at }]
     }
 
-    fn record_cycle(&mut self, class: CycleClass, stats: &mut CoreStats) {
+    fn record_cycles(&mut self, class: CycleClass, cycles: Cycle, stats: &mut CoreStats) {
         match self.checkpoints.last_mut() {
-            Some(cp) => cp.prov.add(class, 1),
-            None => stats.breakdown.add(class, 1),
+            Some(cp) => cp.prov.add(class, cycles),
+            None => stats.breakdown.add(class, cycles),
         }
+    }
+
+    fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        // The only time-triggered transition in this engine: the end of the
+        // SSB commit drain, when the external interface re-enables.
+        self.committing_until.filter(|&until| until > now)
     }
 
     fn finalize(&mut self, _mem: &mut CoreMem, stats: &mut CoreStats) {

@@ -250,8 +250,8 @@ impl OrderingEngine for InvisiContinuousEngine {
         vec![EngineAction::Rollback { resume_at }]
     }
 
-    fn record_cycle(&mut self, class: CycleClass, stats: &mut CoreStats) {
-        self.kernel.record_cycle(class, stats);
+    fn record_cycles(&mut self, class: CycleClass, cycles: Cycle, stats: &mut CoreStats) {
+        self.kernel.record_cycles(class, cycles, stats);
     }
 
     fn finalize(&mut self, mem: &mut CoreMem, stats: &mut CoreStats) {

@@ -21,7 +21,7 @@
 
 use ifence_cpu::{CoreMem, RetireCtx, RetireOutcome};
 use ifence_stats::{CoreStats, ProvisionalBreakdown};
-use ifence_types::{Addr, BlockAddr, CycleClass, InstrKind, StallReason};
+use ifence_types::{Addr, BlockAddr, Cycle, CycleClass, InstrKind, StallReason};
 
 /// One in-flight speculative episode (one register checkpoint).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -257,12 +257,14 @@ impl SpeculationKernel {
         self.abort_from(0, mem, stats)
     }
 
-    /// Records one elapsed cycle: provisionally against the youngest episode
-    /// while speculating, directly into the breakdown otherwise.
-    pub fn record_cycle(&mut self, class: CycleClass, stats: &mut CoreStats) {
+    /// Records `cycles` elapsed cycles: provisionally against the youngest
+    /// episode while speculating, directly into the breakdown otherwise. The
+    /// event-driven kernel calls this with the width of a skipped quiescent
+    /// stretch; the per-cycle loop with 1.
+    pub fn record_cycles(&mut self, class: CycleClass, cycles: Cycle, stats: &mut CoreStats) {
         match self.episodes.last() {
-            Some(ep) => self.prov[ep.slot].add(class, 1),
-            None => stats.breakdown.add(class, 1),
+            Some(ep) => self.prov[ep.slot].add(class, cycles),
+            None => stats.breakdown.add(class, cycles),
         }
     }
 
@@ -421,8 +423,8 @@ mod tests {
         mem.l1.fill(blk(0x2000), LineState::Exclusive, BlockData::from_words([1; 8]));
         let mut k = SpeculationKernel::new(1);
         k.begin(42, &mut stats).unwrap();
-        k.record_cycle(CycleClass::Busy, &mut stats);
-        k.record_cycle(CycleClass::Other, &mut stats);
+        k.record_cycles(CycleClass::Busy, 1, &mut stats);
+        k.record_cycles(CycleClass::Other, 1, &mut stats);
         retire(&mut k, &mut mem, &mut stats, Instruction::store(Addr::new(0x2000), 7), 42);
         retire(&mut k, &mut mem, &mut stats, Instruction::store(Addr::new(0x5000), 8), 43);
         let resume = k.abort_all(&mut mem, &mut stats);
@@ -516,8 +518,7 @@ mod tests {
         let (mut mem, mut stats) = mem_and_stats();
         let mut k = SpeculationKernel::new(1);
         k.begin(0, &mut stats).unwrap();
-        k.record_cycle(CycleClass::Busy, &mut stats);
-        k.record_cycle(CycleClass::Busy, &mut stats);
+        k.record_cycles(CycleClass::Busy, 2, &mut stats);
         assert_eq!(stats.breakdown.total(), 0);
         k.finalize(&mut mem, &mut stats);
         assert_eq!(stats.breakdown.get(CycleClass::Busy), 2);

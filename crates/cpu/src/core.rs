@@ -9,8 +9,8 @@ use crate::rob::Rob;
 use ifence_coherence::{CoherenceRequest, Delivery, SnoopReply, TxnId};
 use ifence_stats::CoreStats;
 use ifence_types::{
-    BlockAddr, CoreConfig, CoreId, Cycle, CycleClass, InstrKind, MachineConfig, Program,
-    StallReason,
+    earliest_wake, BlockAddr, CoreActivity, CoreConfig, CoreId, Cycle, CycleClass, InstrKind,
+    MachineConfig, Program, StallReason,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -19,15 +19,6 @@ struct DeferredSnoop {
     block: BlockAddr,
     kind: ExternalKind,
     deadline: Cycle,
-}
-
-/// Summary of what one core did in one cycle (mainly for tests/diagnostics).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CoreOutput {
-    /// Instructions retired this cycle.
-    pub retired: usize,
-    /// The cycle's breakdown class.
-    pub class: Option<CycleClass>,
 }
 
 /// One simulated processor core: pipeline, memory side, and ordering engine.
@@ -326,12 +317,14 @@ impl Core {
         SnoopReply::Ack { core: self.id, txn, dirty_data: dirty }
     }
 
-    fn resolve_deferred(&mut self, now: Cycle) {
+    /// Returns true if any deferred request was resolved (state changed).
+    fn resolve_deferred(&mut self, now: Cycle) -> bool {
         if self.deferred.is_empty() {
-            return;
+            return false;
         }
         let mut still_deferred = Vec::new();
         let deferred = std::mem::take(&mut self.deferred);
+        let before = deferred.len();
         for d in deferred {
             let resolution = {
                 let Core { mem, engine, stats, .. } = self;
@@ -351,10 +344,14 @@ impl Core {
                 }
             }
         }
+        let resolved = still_deferred.len() != before;
         self.deferred = still_deferred;
+        resolved
     }
 
-    fn issue_stage(&mut self, now: Cycle) {
+    /// Returns true if any instruction issued (state changed).
+    fn issue_stage(&mut self, now: Cycle) -> bool {
+        let mut issued_any = false;
         let mut mem_ports_used = 0;
         let max_ports = self.cfg.mem_issue_ports;
         let hit_latency = self.l1_hit_latency;
@@ -371,6 +368,10 @@ impl Core {
             if entry.issued {
                 continue;
             }
+            // A memory operation's first issue attempt records its block even
+            // when the issue itself fails (MSHRs full); that is a state
+            // change the quiescence analysis must see.
+            let block_known = entry.block.is_some();
             match entry.instr.kind {
                 InstrKind::Op(lat) => {
                     entry.complete_at = Some(now + lat as u64);
@@ -454,7 +455,11 @@ impl Core {
                     }
                 }
             }
+            if entry.issued || entry.block.is_some() != block_known {
+                issued_any = true;
+            }
         }
+        issued_any
     }
 
     fn retire_stage(&mut self, now: Cycle) -> (usize, Option<StallReason>) {
@@ -510,7 +515,7 @@ impl Core {
         (retired_this_cycle, stall)
     }
 
-    fn dispatch_stage(&mut self) {
+    fn dispatch_stage(&mut self) -> usize {
         let mut dispatched = 0;
         while dispatched < self.cfg.width
             && !self.rob.is_full()
@@ -522,42 +527,50 @@ impl Core {
             self.next_dispatch_id += 1;
             dispatched += 1;
         }
+        dispatched
     }
 
-    /// Advances the core by one cycle.
-    pub fn step(&mut self, now: Cycle) -> CoreOutput {
+    /// Advances the core by one cycle, reporting whether it changed state and
+    /// — when it did not — the earliest cycle it could act again (the
+    /// event-driven kernel's scheduling contract; see
+    /// [`ifence_types::CoreActivity`]).
+    pub fn step(&mut self, now: Cycle) -> CoreActivity {
+        let speculating_before = self.engine.speculating();
+
         // 1. Engine maintenance (opportunistic commit, chunk management, CoV).
         let actions = {
             let Core { mem, engine, stats, .. } = self;
             engine.tick(mem, stats, now)
         };
+        let engine_acted = !actions.is_empty();
         self.apply_engine_actions(actions);
 
         // 2. Resolve deferred external requests.
-        self.resolve_deferred(now);
+        let deferred_resolved = self.resolve_deferred(now);
 
         // 3. Drain the store buffer into the L1.
-        {
+        let drained = {
             let Core { mem, engine, stats, .. } = self;
             let drain_limit = self.cfg.sb_drain_per_cycle;
             mem.drain_store_buffer(drain_limit, now, &mut stats.counters, |epoch| {
                 engine.can_drain(epoch)
-            });
-        }
+            })
+        };
 
         // 4. Issue ready instructions to the memory system / ALUs.
-        self.issue_stage(now);
+        let issued = self.issue_stage(now);
 
         // 5. Retire in order, consulting the ordering engine.
         let (retired, stall) = self.retire_stage(now);
 
         // 6. Dispatch new instructions from the trace.
-        self.dispatch_stage();
+        let dispatched = self.dispatch_stage();
 
         // End of program: once everything has retired and drained, fold any
         // still-open speculation into the final state (its ordering
         // requirements are trivially satisfied because the store buffer is
         // empty).
+        let mut finalized = false;
         if self.retired >= self.program.len()
             && self.rob.is_empty()
             && self.mem.sb_empty()
@@ -565,6 +578,7 @@ impl Core {
         {
             let Core { mem, engine, stats, .. } = self;
             engine.finalize(mem, stats);
+            finalized = true;
         }
 
         // 7. Attribute the cycle.
@@ -577,12 +591,59 @@ impl Core {
         };
         if let Some(class) = class {
             let Core { engine, stats, .. } = self;
-            engine.record_cycle(class, stats);
+            engine.record_cycles(class, 1, stats);
             if engine.speculating() {
                 stats.counters.cycles_speculating += 1;
             }
         }
-        CoreOutput { retired, class }
+
+        let progressed = retired > 0
+            || dispatched > 0
+            || issued
+            || drained > 0
+            || engine_acted
+            || deferred_resolved
+            || finalized
+            || self.engine.speculating() != speculating_before;
+        if progressed {
+            CoreActivity::progressed(retired, class)
+        } else {
+            CoreActivity::quiescent(class, self.wake_hint(now))
+        }
+    }
+
+    /// The earliest future cycle at which this (quiescent) core could act of
+    /// its own accord: the head instruction's completion time, the earliest
+    /// deferred-snoop deadline, or an engine timer. `None` means only a
+    /// coherence delivery can wake it — the core is blocked on the fabric
+    /// (an MSHR is outstanding) or has finished.
+    fn wake_hint(&self, now: Cycle) -> Option<Cycle> {
+        let head_completion = self.rob.head().and_then(|h| h.complete_at).filter(|&c| c > now);
+        let deferred_deadline = self.deferred.iter().map(|d| d.deadline).min();
+        let engine_timer = self.engine.next_wake(now);
+        earliest_wake(earliest_wake(head_completion, deferred_deadline), engine_timer)
+    }
+
+    /// Attributes `cycles` skipped quiescent cycles to `class`, exactly as the
+    /// per-cycle loop would have, one cycle at a time. Called by the
+    /// event-driven machine kernel after a time jump; `class` is the one this
+    /// core reported for the cycle preceding the jump, which is provably the
+    /// class of every skipped cycle (nothing changed in between).
+    pub fn absorb_quiescent_cycles(&mut self, class: CycleClass, cycles: Cycle) {
+        if cycles == 0 {
+            return;
+        }
+        let Core { engine, stats, .. } = self;
+        engine.record_cycles(class, cycles, stats);
+        if engine.speculating() {
+            stats.counters.cycles_speculating += cycles;
+        }
+    }
+
+    /// Consumes the core, yielding its statistics and retired-load results
+    /// without cloning (the machine's consuming finalisation path).
+    pub fn into_parts(self) -> (CoreStats, Vec<(usize, u64)>) {
+        (self.stats, self.load_results)
     }
 }
 
@@ -802,6 +863,39 @@ mod tests {
         assert_eq!(core.retired_count(), 0);
         // next_fetch can be at most rob_size ahead of retirement.
         assert!(core.rob.len() <= 8);
+    }
+
+    #[test]
+    fn long_latency_op_yields_completion_wake_hint() {
+        let cfg = machine_cfg();
+        let mut program = Program::new();
+        program.push(Instruction::op(200));
+        let mut core = Core::new(CoreId(0), program, &cfg, Box::new(FreeRetireEngine));
+        assert!(core.step(0).progressed, "dispatch is progress");
+        assert!(core.step(1).progressed, "issue is progress");
+        let idle = core.step(2);
+        assert!(idle.is_quiescent(), "nothing to do while the op executes");
+        assert_eq!(idle.wake_at, Some(201), "wake when the op completes (issued at 1 + 200)");
+        assert_eq!(idle.class, Some(CycleClass::Other));
+        // Every cycle up to the hint is a no-op; at the hint the op retires.
+        assert!(core.step(200).is_quiescent());
+        let done = core.step(201);
+        assert!(done.progressed);
+        assert_eq!(done.retired, 1);
+    }
+
+    #[test]
+    fn load_miss_blocks_on_the_fabric() {
+        let cfg = machine_cfg();
+        let mut program = Program::new();
+        program.push(Instruction::load(Addr::new(0x2000)));
+        let mut core = Core::new(CoreId(0), program, &cfg, Box::new(FreeRetireEngine));
+        core.step(0);
+        core.step(1);
+        let idle = core.step(2);
+        assert!(idle.is_quiescent(), "nothing can happen until the fill arrives");
+        assert_eq!(idle.wake_at, None, "no internal timer: blocked on the fabric");
+        assert!(core.mem.awaiting_fabric());
     }
 
     /// An engine that begins "speculating" on the first retirement and rolls

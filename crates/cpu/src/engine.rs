@@ -193,11 +193,24 @@ pub trait OrderingEngine {
         Vec::new()
     }
 
-    /// Records one elapsed cycle of the given class. Non-speculative engines
-    /// add it to the global breakdown directly; speculative engines buffer it
-    /// provisionally and re-attribute it to `Violation` on abort.
-    fn record_cycle(&mut self, class: CycleClass, stats: &mut CoreStats) {
-        stats.breakdown.add(class, 1);
+    /// Records `cycles` elapsed cycles of the given class. Non-speculative
+    /// engines add them to the global breakdown directly; speculative engines
+    /// buffer them provisionally and re-attribute them to `Violation` on
+    /// abort. Called with `cycles == 1` from the core's per-cycle loop and
+    /// with larger counts when the event-driven kernel bulk-attributes a
+    /// skipped quiescent stretch.
+    fn record_cycles(&mut self, class: CycleClass, cycles: Cycle, stats: &mut CoreStats) {
+        stats.breakdown.add(class, cycles);
+    }
+
+    /// The earliest future cycle at which the engine's own timers could
+    /// change its behaviour (e.g. the end of an ASO commit drain). `None`
+    /// means the engine has no pending timer; commit-on-violate deferral
+    /// deadlines are tracked by the core's deferred-snoop list, not here.
+    /// Engines whose `tick` compares against `now` must report the relevant
+    /// deadline or the event-driven kernel could sleep past it.
+    fn next_wake(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 
     /// Called once when the simulation ends so any still-provisional state
@@ -244,13 +257,18 @@ mod tests {
     }
 
     #[test]
-    fn default_record_cycle_goes_straight_to_breakdown() {
+    fn default_record_cycles_goes_straight_to_breakdown() {
         let mut engine = FreeRetireEngine;
         let mut stats = CoreStats::new();
-        engine.record_cycle(CycleClass::Busy, &mut stats);
-        engine.record_cycle(CycleClass::SbDrain, &mut stats);
+        engine.record_cycles(CycleClass::Busy, 1, &mut stats);
+        engine.record_cycles(CycleClass::SbDrain, 5, &mut stats);
         assert_eq!(stats.breakdown.get(CycleClass::Busy), 1);
-        assert_eq!(stats.breakdown.get(CycleClass::SbDrain), 1);
+        assert_eq!(stats.breakdown.get(CycleClass::SbDrain), 5);
+    }
+
+    #[test]
+    fn default_next_wake_is_none() {
+        assert_eq!(FreeRetireEngine.next_wake(17), None);
     }
 
     #[test]

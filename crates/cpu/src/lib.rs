@@ -21,6 +21,11 @@
 //! 4. retires up to `width` instructions in order, consulting the engine,
 //! 5. dispatches new instructions from the trace into the reorder buffer,
 //! 6. attributes the cycle to one of the five breakdown buckets.
+//!
+//! [`Core::step`] returns an [`ifence_types::CoreActivity`]: whether the core
+//! changed state this cycle and, if not, the earliest cycle it could act
+//! again. The machine's event-driven kernel uses these reports to jump
+//! simulated time over stretches in which every core is provably quiescent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +35,7 @@ pub mod engine;
 pub mod mem_side;
 pub mod rob;
 
-pub use crate::core::{Core, CoreOutput};
+pub use crate::core::Core;
 pub use engine::{
     DeferResolution, EngineAction, ExternalKind, ExternalOutcome, OrderingEngine, RetireCtx,
     RetireOutcome,

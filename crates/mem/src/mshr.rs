@@ -158,6 +158,13 @@ impl MshrFile {
         }
     }
 
+    /// Cycle at which the oldest still-outstanding miss was issued, if any —
+    /// used by the event-driven kernel's deadlock diagnostics to show how
+    /// long a core has been waiting on the fabric.
+    pub fn oldest_issue(&self) -> Option<Cycle> {
+        self.entries.iter().map(|e| e.issued_at).min()
+    }
+
     /// Iterates over outstanding entries.
     pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
         self.entries.iter()
@@ -181,6 +188,17 @@ mod tests {
         assert!(m.is_full());
         assert_eq!(m.allocate(blk(0x80), false, false, 0).unwrap_err(), MshrError::Full);
         assert_eq!(m.allocate(blk(0x00), false, false, 0).unwrap_err(), MshrError::AlreadyPresent);
+    }
+
+    #[test]
+    fn oldest_issue_reports_the_earliest_outstanding_miss() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.oldest_issue(), None);
+        m.allocate(blk(0x00), false, false, 30).unwrap();
+        m.allocate(blk(0x40), true, false, 10).unwrap();
+        assert_eq!(m.oldest_issue(), Some(10));
+        m.complete(blk(0x40));
+        assert_eq!(m.oldest_issue(), Some(30));
     }
 
     #[test]

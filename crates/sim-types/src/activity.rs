@@ -1,0 +1,94 @@
+//! Per-cycle core activity reporting for the event-driven simulation kernel.
+//!
+//! The machine model no longer assumes it must poll every core on every
+//! simulated cycle. Instead, [`crate::Cycle`]-stepped components report what
+//! they did and — when they did nothing — the earliest cycle at which they
+//! could possibly act again. The machine takes the minimum over every core's
+//! wake hint and the coherence fabric's next scheduled event and advances
+//! simulated time in one jump, which makes wall-clock cost scale with
+//! *activity* rather than with simulated cycles (stall-dominated runs, the
+//! regime the paper's Figure 1 lives in, are exactly where dense polling is
+//! slowest).
+//!
+//! The contract a [`CoreActivity`] encodes is strict: a core reporting
+//! `progressed == false` promises that, absent a coherence delivery, stepping
+//! it at any cycle before `wake_at` would change *nothing* — no counters, no
+//! pipeline state, no outgoing messages. Skipped cycles are therefore
+//! provably identical to stepped ones, and the kernel-mode equivalence test
+//! holds the two schedules to byte-identical results.
+
+use crate::addr::Cycle;
+use crate::stall::CycleClass;
+
+/// What one core did in one simulated cycle, plus the scheduling hint the
+/// event-driven kernel uses to skip provably quiescent stretches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreActivity {
+    /// Instructions retired this cycle.
+    pub retired: usize,
+    /// The cycle's runtime-breakdown class (`None` once the core finished).
+    pub class: Option<CycleClass>,
+    /// True if the core changed any state this cycle (retired, dispatched,
+    /// issued, drained, resolved a deferred snoop, performed an engine
+    /// action…). A progressed core must be stepped again next cycle.
+    pub progressed: bool,
+    /// Meaningful only when `progressed` is false: the earliest cycle at
+    /// which the core could possibly act again of its own accord (a pending
+    /// completion time, a deferred-snoop deadline, an engine timer). `None`
+    /// means the core is blocked on the coherence fabric — or has finished —
+    /// and only a delivery can wake it.
+    pub wake_at: Option<Cycle>,
+}
+
+impl CoreActivity {
+    /// An active cycle: the core changed state and must be stepped next cycle.
+    pub fn progressed(retired: usize, class: Option<CycleClass>) -> Self {
+        CoreActivity { retired, class, progressed: true, wake_at: None }
+    }
+
+    /// A quiescent cycle: nothing changed, and nothing can change before
+    /// `wake_at` (`None` = blocked on the fabric) unless a delivery arrives.
+    pub fn quiescent(class: Option<CycleClass>, wake_at: Option<Cycle>) -> Self {
+        CoreActivity { retired: 0, class, progressed: false, wake_at }
+    }
+
+    /// True if the core neither changed state nor can act before its wake
+    /// hint.
+    pub fn is_quiescent(&self) -> bool {
+        !self.progressed
+    }
+}
+
+/// Folds two optional wake times into the earlier one (`None` = no
+/// self-scheduled wake-up).
+pub fn earliest_wake(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_the_progress_flag() {
+        let active = CoreActivity::progressed(3, Some(CycleClass::Busy));
+        assert!(!active.is_quiescent());
+        assert_eq!(active.retired, 3);
+        let idle = CoreActivity::quiescent(Some(CycleClass::SbDrain), Some(42));
+        assert!(idle.is_quiescent());
+        assert_eq!(idle.retired, 0);
+        assert_eq!(idle.wake_at, Some(42));
+    }
+
+    #[test]
+    fn earliest_wake_takes_the_minimum() {
+        assert_eq!(earliest_wake(None, None), None);
+        assert_eq!(earliest_wake(Some(5), None), Some(5));
+        assert_eq!(earliest_wake(None, Some(7)), Some(7));
+        assert_eq!(earliest_wake(Some(9), Some(4)), Some(4));
+    }
+}

@@ -330,6 +330,11 @@ pub struct MachineConfig {
     pub engine: EngineKind,
     /// Random seed used by workload generation tied to this run.
     pub seed: u64,
+    /// Force the dense (poll-every-cycle) simulation kernel instead of the
+    /// default event-driven one that skips provably quiescent cycles. The two
+    /// kernels produce byte-identical results; the dense loop survives as a
+    /// debug reference (also selectable at run time with `IFENCE_DENSE=1`).
+    pub dense_kernel: bool,
 }
 
 impl MachineConfig {
@@ -361,6 +366,7 @@ impl MachineConfig {
             speculation: spec,
             engine,
             seed: 0x1f3c_e5ee_d00d,
+            dense_kernel: false,
         }
     }
 

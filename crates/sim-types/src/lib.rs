@@ -14,6 +14,9 @@
 //!   parameters of Figure 6 of the paper ([`config`]).
 //! * [`CycleClass`] and [`StallReason`] — the five execution-time buckets of
 //!   Figures 9, 11 and 12 ([`stall`]).
+//! * [`CoreActivity`] — per-cycle activity reports with next-wake hints, the
+//!   contract between cores and the event-driven simulation kernel
+//!   ([`activity`]).
 //!
 //! # Example
 //!
@@ -30,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 pub mod addr;
 pub mod config;
 pub mod instr;
 pub mod model;
 pub mod stall;
 
+pub use activity::{earliest_wake, CoreActivity};
 pub use addr::{Addr, BlockAddr, CoreId, Cycle, WordOffset};
 pub use config::{
     CacheConfig, CoreConfig, EngineKind, InterconnectConfig, L2Config, MachineConfig,

@@ -8,7 +8,12 @@
 //!
 //! * [`Machine`] — builds the cores and the coherence fabric from a
 //!   [`ifence_types::MachineConfig`] and a set of per-core programs, and runs
-//!   them cycle by cycle until every core finishes.
+//!   them under the event-driven simulation kernel, which skips provably
+//!   quiescent cycles (byte-identical to the dense poll-every-cycle debug
+//!   mode, `IFENCE_DENSE=1`) and stops immediately with a diagnostic when it
+//!   proves the machine deadlocked. [`Machine::into_result`] is the
+//!   consuming finalisation path that moves (never clones) the per-core
+//!   statistics into the [`machine::MachineResult`].
 //! * [`runner`] — convenience functions that run one workload under one
 //!   engine and return a [`ifence_stats::RunSummary`]; experiment sizes are
 //!   controlled by [`runner::ExperimentParams`] (override with the

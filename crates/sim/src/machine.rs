@@ -1,9 +1,40 @@
 //! The simulated multiprocessor: cores plus coherence fabric.
+//!
+//! # The event-driven simulation kernel
+//!
+//! The machine is stepped cycle by cycle, but it does not *poll* cycle by
+//! cycle. Each stepped cycle, a stepped core reports a
+//! [`ifence_types::CoreActivity`]: whether it changed state and, if not, the
+//! earliest cycle it could act again (a pending completion, a deferred-snoop
+//! deadline, an engine timer — or nothing, meaning it is blocked on the
+//! fabric). Quiescence is exploited at two levels:
+//!
+//! 1. **Per-core sleep** — a core that reports quiescence is not stepped
+//!    again until its wake hint comes due or a coherence delivery addressed
+//!    to it arrives; cores interact only through deliveries, so its skipped
+//!    steps are provably no-ops. On wake, the skipped cycles are
+//!    bulk-attributed to the stall class the core reported when it went to
+//!    sleep, so the runtime breakdowns stay exact.
+//! 2. **Whole-machine jump** — when a cycle ends with no deliveries, no new
+//!    requests and every core asleep, `now` advances in one jump to the
+//!    minimum of the fabric's next scheduled event and the cores' wake
+//!    hints.
+//!
+//! Both levels skip only provably quiescent cycles, so the event-driven
+//! schedule produces results byte-identical to dense polling — which
+//! survives as a debug mode ([`MachineConfig::dense_kernel`] or
+//! `IFENCE_DENSE=1`) and is held equivalent by `tests/kernel_equivalence.rs`.
+//!
+//! Quiescence detection gives deadlock detection for free: if no core has a
+//! wake hint and the fabric has nothing scheduled, the simulation can never
+//! progress again, and the machine stops immediately with
+//! [`MachineResult::deadlocked`] set and a per-core diagnostic instead of
+//! spinning to the cycle limit.
 
 use ifence_coherence::{CoherenceFabric, FabricConfig};
 use ifence_cpu::Core;
 use ifence_stats::{CoreStats, RunSummary};
-use ifence_types::{CoreId, Cycle, MachineConfig, Program};
+use ifence_types::{earliest_wake, CoreId, Cycle, CycleClass, MachineConfig, Program};
 use invisifence::build_engine;
 use std::fmt;
 
@@ -22,12 +53,19 @@ impl fmt::Display for MachineBuildError {
 impl std::error::Error for MachineBuildError {}
 
 /// The outcome of running a [`Machine`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineResult {
     /// Total simulated cycles (wall clock: until the slowest core finished).
     pub cycles: Cycle,
     /// True if every core retired its whole program before the cycle limit.
     pub finished: bool,
+    /// True if the run stopped because no core could ever act again and the
+    /// fabric had nothing scheduled — a genuine deadlock, detected by the
+    /// quiescence analysis instead of spinning to the cycle limit.
+    pub deadlocked: bool,
+    /// A per-core pipeline snapshot taken at the moment a deadlock was
+    /// detected (`None` unless `deadlocked`).
+    pub deadlock_diagnostic: Option<String>,
     /// Per-core statistics.
     pub per_core: Vec<CoreStats>,
     /// Values observed by each core's retired loads (for litmus checking).
@@ -44,12 +82,44 @@ impl MachineResult {
 }
 
 /// A complete simulated multiprocessor: one core per node plus the directory
-/// coherence fabric, all driven from a single cycle loop.
+/// coherence fabric, driven by the event-driven kernel (see the module
+/// documentation).
 pub struct Machine {
     cfg: MachineConfig,
     cores: Vec<Core>,
     fabric: CoherenceFabric,
     now: Cycle,
+    /// Dense (poll-every-cycle) debug mode, resolved once at construction
+    /// from the configuration flag and the `IFENCE_DENSE` environment
+    /// variable.
+    dense: bool,
+    /// Per-core sleep state: `Some` while the core is quiescent and need not
+    /// be stepped (see the module documentation).
+    sleeping: Vec<Option<CoreSleep>>,
+}
+
+/// Sleep record of one quiescent core.
+#[derive(Debug, Clone, Copy)]
+struct CoreSleep {
+    /// First cycle the sleeping core was *not* stepped (its stall cycles
+    /// from here are attributed in bulk when it wakes).
+    since: Cycle,
+    /// The stall class the core reported when it went quiescent — provably
+    /// the class of every skipped cycle (`None` = finished, attribute
+    /// nothing).
+    class: Option<CycleClass>,
+    /// The core's own wake hint (`None` = only a delivery can wake it).
+    wake_at: Option<Cycle>,
+}
+
+/// Aggregate outcome of stepping one machine cycle.
+#[derive(Debug, Clone, Copy)]
+struct CycleOutcome {
+    /// True if any delivery, request, reply or core state change happened.
+    progressed: bool,
+    /// Earliest wake hint among the quiescent cores (`None` = none of them
+    /// can wake on their own).
+    core_wake: Option<Cycle>,
 }
 
 impl Machine {
@@ -66,12 +136,20 @@ impl Machine {
             });
         }
         let fabric = CoherenceFabric::new(FabricConfig::from_machine(&cfg));
-        let cores = programs
+        let cores: Vec<Core> = programs
             .into_iter()
             .enumerate()
             .map(|(i, program)| Core::new(CoreId(i), program, &cfg, build_engine(cfg.engine, &cfg)))
             .collect();
-        Ok(Machine { cfg, cores, fabric, now: 0 })
+        let dense = cfg.dense_kernel || env_dense_override();
+        let sleeping = vec![None; cores.len()];
+        Ok(Machine { cfg, cores, fabric, now: 0, dense, sleeping })
+    }
+
+    /// True if this machine polls every cycle instead of skipping quiescent
+    /// stretches (the debug reference mode).
+    pub fn dense_kernel(&self) -> bool {
+        self.dense
     }
 
     /// The machine configuration.
@@ -94,29 +172,94 @@ impl Machine {
         self.fabric.write_memory_word(addr, value);
     }
 
-    /// Advances the machine by one cycle.
+    /// Advances the machine by one cycle (the manual-driving API used by
+    /// diagnostics and tests). Unlike the internal fast path under
+    /// [`Machine::run`], this flushes every core's sleep attribution after
+    /// the cycle so `core(i).stats()` stays cycle-exact between calls — at
+    /// the cost of behaving like the dense kernel when driven this way.
     pub fn step(&mut self) {
+        self.step_cycle();
+        self.wake_all();
+    }
+
+    /// Wakes a sleeping core: its skipped cycles are attributed in bulk to
+    /// the stall class it reported when it went quiescent — exactly what the
+    /// dense loop would have recorded, one cycle at a time.
+    fn wake_core(&mut self, idx: usize, now: Cycle) {
+        if let Some(sleep) = self.sleeping[idx].take() {
+            if let (Some(class), true) = (sleep.class, now > sleep.since) {
+                self.cores[idx].absorb_quiescent_cycles(class, now - sleep.since);
+            }
+        }
+    }
+
+    /// Wakes every sleeping core (end of the run: the loop finished, hit the
+    /// cycle limit, or detected a deadlock) so their attribution is complete
+    /// up to — but not including — the current cycle.
+    fn wake_all(&mut self) {
+        for idx in 0..self.cores.len() {
+            self.wake_core(idx, self.now);
+        }
+    }
+
+    /// Steps one cycle: deliver due coherence messages, step every core that
+    /// is not provably asleep, route replies and requests, and aggregate the
+    /// activity reports.
+    fn step_cycle(&mut self) -> CycleOutcome {
         let now = self.now;
+        let mut progressed = false;
         // Deliver coherence messages due this cycle and collect the cores'
-        // snoop replies.
-        for delivery in self.fabric.step(now) {
+        // snoop replies. A delivery mutates core state, so it first wakes a
+        // sleeping target, and the cycle counts as progressed even if the
+        // receiving core then reports quiescence.
+        let deliveries = self.fabric.step(now);
+        progressed |= !deliveries.is_empty();
+        for delivery in deliveries {
             let idx = delivery.core().index();
+            self.wake_core(idx, now);
             if let Some(reply) = self.cores[idx].handle_delivery(delivery, now) {
                 self.fabric.respond(reply, now);
             }
         }
-        // Step every core, then route its asynchronous replies and new
-        // requests into the fabric.
-        for core in &mut self.cores {
-            core.step(now);
-            for reply in core.take_replies() {
+        // Step every awake (or due) core, then route its asynchronous
+        // replies and new requests into the fabric. Sleeping cores are
+        // provably no-ops this cycle and are not touched.
+        let mut core_wake = None;
+        for i in 0..self.cores.len() {
+            if let Some(sleep) = self.sleeping[i] {
+                match sleep.wake_at {
+                    Some(wake) if wake <= now => self.wake_core(i, now),
+                    hint => {
+                        core_wake = earliest_wake(core_wake, hint);
+                        continue;
+                    }
+                }
+            }
+            let core = &mut self.cores[i];
+            let activity = core.step(now);
+            let replies = core.take_replies();
+            let requests = core.take_requests();
+            if activity.progressed || !replies.is_empty() || !requests.is_empty() {
+                progressed = true;
+            } else {
+                core_wake = earliest_wake(core_wake, activity.wake_at);
+                if !self.dense {
+                    self.sleeping[i] = Some(CoreSleep {
+                        since: now + 1,
+                        class: activity.class,
+                        wake_at: activity.wake_at,
+                    });
+                }
+            }
+            for reply in replies {
                 self.fabric.respond(reply, now);
             }
-            for request in core.take_requests() {
+            for request in requests {
                 self.fabric.request(request, now);
             }
         }
         self.now += 1;
+        CycleOutcome { progressed, core_wake }
     }
 
     /// Returns true once every core has finished its program (and drained).
@@ -124,12 +267,59 @@ impl Machine {
         self.cores.iter().all(|c| c.finished())
     }
 
-    /// Runs until every core finishes or `max_cycles` elapse, then finalises
-    /// statistics and returns the result.
-    pub fn run(&mut self, max_cycles: Cycle) -> MachineResult {
+    /// The shared simulation loop: dense stepping after any progressed cycle,
+    /// a single time jump over provably quiescent stretches otherwise (unless
+    /// the dense debug mode is forced). Returns the deadlock verdict.
+    fn run_loop(&mut self, max_cycles: Cycle) -> (bool, Option<String>) {
         while self.now < max_cycles && !self.all_finished() {
-            self.step();
+            let outcome = self.step_cycle();
+            if outcome.progressed {
+                continue;
+            }
+            // Every core is quiescent and nothing was delivered: the next
+            // cycle on which anything can happen is the minimum of the
+            // fabric's scheduled events and the cores' wake hints.
+            let Some(wake) = earliest_wake(outcome.core_wake, self.fabric.next_due()) else {
+                // No core can wake on its own and the fabric has nothing
+                // scheduled: progress is impossible, now and forever.
+                return (true, Some(self.deadlock_snapshot()));
+            };
+            if self.dense {
+                continue;
+            }
+            // Every core is now asleep; jump straight to the next cycle on
+            // which anything can happen. The skipped cycles are attributed
+            // when each core wakes (or by `wake_all` at the end of the run).
+            let target = wake.min(max_cycles);
+            if target > self.now {
+                self.now = target;
+            }
         }
+        (false, None)
+    }
+
+    /// A one-line-per-core snapshot of why nothing can make progress.
+    fn deadlock_snapshot(&self) -> String {
+        let mut out = format!(
+            "deadlock at cycle {}: no core can wake and the fabric has no pending events \
+             ({} transactions outstanding)",
+            self.now,
+            self.fabric.outstanding()
+        );
+        for core in &self.cores {
+            out.push_str("\n  ");
+            out.push_str(&core.debug_snapshot(self.now));
+        }
+        out
+    }
+
+    /// Runs until every core finishes, a deadlock is detected, or
+    /// `max_cycles` elapse, then finalises statistics and returns the result
+    /// (cloning the per-core data; prefer [`Machine::into_result`] when the
+    /// machine is not needed afterwards).
+    pub fn run(&mut self, max_cycles: Cycle) -> MachineResult {
+        let (deadlocked, deadlock_diagnostic) = self.run_loop(max_cycles);
+        self.wake_all();
         let finished = self.all_finished();
         for core in &mut self.cores {
             core.finalize();
@@ -137,10 +327,58 @@ impl Machine {
         MachineResult {
             cycles: self.now,
             finished,
+            deadlocked,
+            deadlock_diagnostic,
             per_core: self.cores.iter().map(|c| c.stats().clone()).collect(),
             load_results: self.cores.iter().map(|c| c.load_results().to_vec()).collect(),
             config_label: self.cfg.engine.label(),
         }
+    }
+
+    /// Runs like [`Machine::run`] but consumes the machine, *moving* every
+    /// core's statistics and load results into the result instead of cloning
+    /// them — the finalisation path the experiment runners use.
+    pub fn into_result(mut self, max_cycles: Cycle) -> MachineResult {
+        let (deadlocked, deadlock_diagnostic) = self.run_loop(max_cycles);
+        self.wake_all();
+        let finished = self.all_finished();
+        for core in &mut self.cores {
+            core.finalize();
+        }
+        let config_label = self.cfg.engine.label();
+        let (per_core, load_results) = self.cores.into_iter().map(Core::into_parts).unzip();
+        MachineResult {
+            cycles: self.now,
+            finished,
+            deadlocked,
+            deadlock_diagnostic,
+            per_core,
+            load_results,
+            config_label,
+        }
+    }
+}
+
+/// Parses an `IFENCE_DENSE`-style boolean. `None` means unrecognised — the
+/// single grammar shared by [`Machine::new`] and
+/// [`crate::runner::ExperimentParams::from_env`], so no spelling is honoured
+/// in one place and warned about in the other.
+pub(crate) fn parse_dense_flag(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "false" | "no" => Some(false),
+        "1" | "true" | "yes" => Some(true),
+        _ => None,
+    }
+}
+
+/// True when the `IFENCE_DENSE` environment variable requests the dense
+/// (poll-every-cycle) debug kernel. Unrecognised values are treated as unset
+/// (the warning is printed once, by `ExperimentParams::from_env`, not here —
+/// a sweep constructs many machines).
+fn env_dense_override() -> bool {
+    match std::env::var("IFENCE_DENSE") {
+        Ok(raw) => parse_dense_flag(&raw).unwrap_or(false),
+        Err(_) => false,
     }
 }
 
@@ -225,6 +463,73 @@ mod tests {
             summary_inv.cycles,
             summary_conv.cycles
         );
+    }
+
+    #[test]
+    fn dense_and_skipping_kernels_agree_on_a_small_run() {
+        let engine = EngineKind::Conventional(ConsistencyModel::Sc);
+        let spec = WorkloadSpec::uniform("kernel-mode");
+        let mut dense_cfg = MachineConfig::small_test(engine);
+        dense_cfg.dense_kernel = true;
+        let skip_cfg = MachineConfig::small_test(engine);
+        let programs = spec.generate(dense_cfg.cores, 500, 11);
+        let mut dense = Machine::new(dense_cfg, programs.clone()).unwrap();
+        assert!(dense.dense_kernel());
+        let skip = Machine::new(skip_cfg, programs).unwrap();
+        let dense_result = dense.run(5_000_000);
+        let skip_result = skip.into_result(5_000_000);
+        assert!(dense_result.finished);
+        assert_eq!(dense_result, skip_result, "the two kernels must be byte-identical");
+    }
+
+    #[test]
+    fn consuming_and_borrowing_finalisation_agree() {
+        let engine = EngineKind::Conventional(ConsistencyModel::Tso);
+        let cfg = MachineConfig::small_test(engine);
+        let programs = WorkloadSpec::uniform("finalise").generate(cfg.cores, 300, 5);
+        let mut borrowed = Machine::new(cfg.clone(), programs.clone()).unwrap();
+        let via_run = borrowed.run(5_000_000);
+        let via_into = Machine::new(cfg, programs).unwrap().into_result(5_000_000);
+        assert_eq!(via_run, via_into);
+    }
+
+    #[test]
+    fn manual_stepping_keeps_breakdowns_cycle_exact() {
+        // The public step() API flushes sleep attribution every cycle, so a
+        // diagnostic driver reading core stats mid-run sees exact totals.
+        let cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
+        let programs = WorkloadSpec::uniform("manual").generate(cfg.cores, 500, 3);
+        let mut machine = Machine::new(cfg, programs).unwrap();
+        for _ in 0..50 {
+            machine.step();
+        }
+        for i in 0..4 {
+            assert!(!machine.core(i).finished(), "500-instruction programs outlast 50 cycles");
+            assert_eq!(
+                machine.core(i).stats().breakdown.total(),
+                50,
+                "core {i}: every elapsed cycle is attributed"
+            );
+        }
+    }
+
+    #[test]
+    fn starved_mshr_machine_is_reported_as_deadlocked() {
+        // With zero MSHRs a load miss can never issue its coherence request,
+        // so nothing will ever happen: the quiescence analysis must detect
+        // this immediately instead of spinning to the cycle limit.
+        let mut cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
+        cfg.l1.mshrs = 0;
+        let mut programs = vec![Program::new(); cfg.cores];
+        programs[0].push(ifence_types::Instruction::load(ifence_types::Addr::new(0x4000)));
+        let mut machine = Machine::new(cfg, programs).unwrap();
+        let result = machine.run(1_000_000);
+        assert!(result.deadlocked);
+        assert!(!result.finished);
+        assert!(result.cycles < 1_000, "detected immediately, not at the cycle limit");
+        let diagnostic = result.deadlock_diagnostic.expect("a diagnostic is recorded");
+        assert!(diagnostic.contains("deadlock at cycle"), "got: {diagnostic}");
+        assert!(diagnostic.contains("core0"), "per-core snapshots included: {diagnostic}");
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct ExperimentParams {
     /// wall-clock time changes). Defaults to the number of available cores;
     /// override with the `IFENCE_JOBS` environment variable.
     pub parallelism: usize,
+    /// Force the dense (poll-every-cycle) debug kernel instead of the
+    /// event-driven one that skips quiescent cycles; results are identical,
+    /// only slower. Settable with `IFENCE_DENSE=1`.
+    pub dense_kernel: bool,
 }
 
 /// The number of hardware threads available to this process (at least 1).
@@ -58,6 +62,7 @@ impl Default for ExperimentParams {
             max_cycles: 200_000_000,
             full_machine: true,
             parallelism: available_jobs(),
+            dense_kernel: false,
         }
     }
 }
@@ -73,6 +78,16 @@ impl ExperimentParams {
             env_parse("IFENCE_INSTRS", params.instructions_per_core).max(1);
         params.seed = env_parse("IFENCE_SEED", params.seed);
         params.parallelism = env_parse("IFENCE_JOBS", params.parallelism).max(1);
+        params.dense_kernel = match std::env::var("IFENCE_DENSE") {
+            Ok(raw) => crate::machine::parse_dense_flag(&raw).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: ignoring unparseable IFENCE_DENSE={raw:?} (expected 0/1); \
+                     using the default"
+                );
+                false
+            }),
+            Err(_) => false,
+        };
         params
     }
 
@@ -85,6 +100,7 @@ impl ExperimentParams {
             max_cycles: 20_000_000,
             full_machine: false,
             parallelism: available_jobs(),
+            dense_kernel: false,
         }
     }
 
@@ -100,6 +116,7 @@ impl ExperimentParams {
             MachineConfig::small_test(engine)
         };
         cfg.seed = self.seed;
+        cfg.dense_kernel = self.dense_kernel;
         cfg
     }
 }
@@ -116,24 +133,30 @@ pub fn run_experiment(
 ) -> RunSummary {
     let cfg = params.config_for(engine);
     let programs = workload.generate(cfg.cores, params.instructions_per_core, params.seed);
-    let mut machine = Machine::new(cfg, programs).expect("derived configuration is valid");
-    let result = machine.run(params.max_cycles);
+    let machine = Machine::new(cfg, programs).expect("derived configuration is valid");
+    let result = machine.into_result(params.max_cycles);
     result.summary(workload.name.clone())
 }
 
-/// Runs a two-core litmus test under the given engine and returns the number
-/// of forbidden outcomes observed (0 means the consistency model was
-/// enforced).
+/// Runs a litmus test under the given engine and returns the number of
+/// forbidden outcomes observed (0 means the consistency model was enforced).
+///
+/// # Panics
+/// Panics if the test uses more cores than the reduced test machine has, or
+/// if the run deadlocks or hits the cycle limit.
 pub fn run_litmus(engine: EngineKind, test: &LitmusTest, max_cycles: u64) -> usize {
     let mut cfg = MachineConfig::small_test(engine);
-    // Litmus tests use two active cores; pad with empty programs for the rest.
+    // Litmus tests use two to four active cores; pad with empty programs for
+    // the rest.
     let mut programs = test.programs().to_vec();
+    assert!(programs.len() <= cfg.cores, "litmus test needs more cores than the machine has");
     while programs.len() < cfg.cores {
         programs.push(ifence_types::Program::new());
     }
     cfg.seed = 1;
-    let mut machine = Machine::new(cfg, programs).expect("litmus configuration is valid");
-    let result = machine.run(max_cycles);
+    let machine = Machine::new(cfg, programs).expect("litmus configuration is valid");
+    let result = machine.into_result(max_cycles);
+    assert!(!result.deadlocked, "litmus run deadlocked: {:?}", result.deadlock_diagnostic);
     assert!(result.finished, "litmus run hit the cycle limit");
     test.count_forbidden(&result.load_results)
 }

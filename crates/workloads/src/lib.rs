@@ -12,8 +12,9 @@
 //! * [`WorkloadSpec`] — the tunable statistical model of one workload.
 //! * [`presets`] — one preset per paper workload (Apache, Zeus, OLTP-Oracle,
 //!   OLTP-DB2, DSS-DB2, Barnes, Ocean).
-//! * [`litmus`] — message-passing and store-buffering (Dekker) litmus tests
-//!   whose forbidden outcomes must never appear under SC enforcement.
+//! * [`litmus`] — message-passing, store-buffering (Dekker), load-buffering
+//!   and IRIW litmus tests whose forbidden outcomes must never appear under
+//!   SC enforcement.
 //!
 //! # Example
 //!

@@ -2,7 +2,7 @@
 //!
 //! These tests check that a consistency implementation *enforces* its model —
 //! the functional counterpart of the paper's claim that speculation never
-//! becomes architecturally visible. Each test repeats a classic two-thread
+//! becomes architecturally visible. Each test repeats a classic multi-thread
 //! pattern many times, each iteration on fresh addresses, and a checker counts
 //! outcomes that sequential consistency forbids:
 //!
@@ -10,9 +10,18 @@
 //!   `r1 = flag; r2 = data`. Forbidden: `r1 == 1 && r2 == 0`.
 //! * **Store buffering (SB / Dekker)** — core 0: `x = 1; r0 = y`; core 1:
 //!   `y = 1; r1 = x`. Forbidden: `r0 == 0 && r1 == 0`.
+//! * **Load buffering (LB)** — core 0: `r0 = x; y = 1`; core 1: `r1 = y;
+//!   x = 1`. Forbidden: `r0 == 1 && r1 == 1` (each load would have to read
+//!   the value of a store that is program-after the other load).
+//! * **Independent reads of independent writes (IRIW)** — writers on cores 0
+//!   and 1 (`x = 1` / `y = 1`), readers on cores 2 and 3 observing them in
+//!   opposite orders. Forbidden: the readers disagree on the order of the
+//!   two writes (`r1 == 1 && r2 == 0 && r3 == 1 && r4 == 0`), which only a
+//!   non-multi-copy-atomic memory system can produce.
 //!
 //! With `fenced` set, a full fence is inserted between the two accesses of
-//! each thread, making the forbidden outcome illegal under RMO as well.
+//! each observing thread, making the forbidden outcome illegal under RMO as
+//! well.
 
 use ifence_types::{Addr, Instruction, Program};
 
@@ -27,15 +36,32 @@ pub enum LitmusKind {
     MessagePassing,
     /// Store buffering / Dekker (store→load ordering).
     StoreBuffering,
+    /// Load buffering (load→store ordering).
+    LoadBuffering,
+    /// Independent reads of independent writes (store atomicity).
+    Iriw,
 }
 
-/// The loads whose values decide one iteration's outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+impl LitmusKind {
+    /// True when the observed values form the outcome sequential consistency
+    /// forbids for this pattern.
+    fn forbidden(self, values: &[u64]) -> bool {
+        match (self, values) {
+            (LitmusKind::MessagePassing, [flag, data]) => *flag == 1 && *data == 0,
+            (LitmusKind::StoreBuffering, [r0, r1]) => *r0 == 0 && *r1 == 0,
+            (LitmusKind::LoadBuffering, [r0, r1]) => *r0 == 1 && *r1 == 1,
+            (LitmusKind::Iriw, [r1, r2, r3, r4]) => *r1 == 1 && *r2 == 0 && *r3 == 1 && *r4 == 0,
+            _ => unreachable!("observation arity fixed per pattern"),
+        }
+    }
+}
+
+/// The loads whose values decide one iteration's outcome, as
+/// `(core, program index)` pairs in the order [`LitmusKind::forbidden`]
+/// expects them.
+#[derive(Debug, Clone)]
 struct Observation {
-    /// (core, program index) of the first observed load.
-    first: (usize, usize),
-    /// (core, program index) of the second observed load.
-    second: (usize, usize),
+    loads: Vec<(usize, usize)>,
 }
 
 /// A multi-core litmus test: per-core programs plus a forbidden-outcome checker.
@@ -74,7 +100,7 @@ impl LitmusTest {
             let data_idx = reader.len();
             reader.push(Instruction::load(data));
             reader.push(Instruction::op(1));
-            observations.push(Observation { first: (1, flag_idx), second: (1, data_idx) });
+            observations.push(Observation { loads: vec![(1, flag_idx), (1, data_idx)] });
         }
         LitmusTest {
             kind: LitmusKind::MessagePassing,
@@ -111,12 +137,105 @@ impl LitmusTest {
             core1.push(Instruction::load(x));
             core1.push(Instruction::op(2));
 
-            observations.push(Observation { first: (0, r0_idx), second: (1, r1_idx) });
+            observations.push(Observation { loads: vec![(0, r0_idx), (1, r1_idx)] });
         }
         LitmusTest {
             kind: LitmusKind::StoreBuffering,
             iterations,
             programs: vec![core0, core1],
+            observations,
+        }
+    }
+
+    /// Builds a load-buffering test with the given number of iterations: each
+    /// core loads one variable and then stores to the other. When `fenced` is
+    /// true a full fence separates each core's load from its subsequent
+    /// store. Observing both loads as 1 would require each load to read a
+    /// store that is program-after the other load — a causal cycle no
+    /// in-order-retirement implementation (speculative or not) can produce.
+    pub fn load_buffering(iterations: usize, fenced: bool) -> Self {
+        let mut core0 = Program::new();
+        let mut core1 = Program::new();
+        let mut observations = Vec::with_capacity(iterations);
+        for i in 0..iterations as u64 {
+            let x = Addr::new(LITMUS_BASE + i * 2 * BLOCK);
+            let y = Addr::new(LITMUS_BASE + (i * 2 + 1) * BLOCK);
+
+            let r0_idx = core0.len();
+            core0.push(Instruction::load(x));
+            if fenced {
+                core0.push(Instruction::fence());
+            }
+            core0.push(Instruction::store(y, 1));
+            core0.push(Instruction::op(2));
+
+            let r1_idx = core1.len();
+            core1.push(Instruction::load(y));
+            if fenced {
+                core1.push(Instruction::fence());
+            }
+            core1.push(Instruction::store(x, 1));
+            core1.push(Instruction::op(2));
+
+            observations.push(Observation { loads: vec![(0, r0_idx), (1, r1_idx)] });
+        }
+        LitmusTest {
+            kind: LitmusKind::LoadBuffering,
+            iterations,
+            programs: vec![core0, core1],
+            observations,
+        }
+    }
+
+    /// Builds an IRIW (independent reads of independent writes) test with the
+    /// given number of iterations: cores 0 and 1 write `x` and `y`
+    /// respectively; cores 2 and 3 each read both variables in opposite
+    /// orders. When `fenced` is true a full fence separates each reader's two
+    /// loads. The forbidden outcome — the readers observing the two writes in
+    /// contradictory orders — requires non-multi-copy-atomic stores, which a
+    /// directory protocol with a single point of serialisation per block
+    /// never produces.
+    pub fn iriw(iterations: usize, fenced: bool) -> Self {
+        let mut writer_x = Program::new();
+        let mut writer_y = Program::new();
+        let mut reader_xy = Program::new();
+        let mut reader_yx = Program::new();
+        let mut observations = Vec::with_capacity(iterations);
+        for i in 0..iterations as u64 {
+            let x = Addr::new(LITMUS_BASE + i * 2 * BLOCK);
+            let y = Addr::new(LITMUS_BASE + (i * 2 + 1) * BLOCK);
+
+            writer_x.push(Instruction::store(x, 1));
+            writer_x.push(Instruction::op(2));
+            writer_y.push(Instruction::store(y, 1));
+            writer_y.push(Instruction::op(3));
+
+            let r1_idx = reader_xy.len();
+            reader_xy.push(Instruction::load(x));
+            if fenced {
+                reader_xy.push(Instruction::fence());
+            }
+            let r2_idx = reader_xy.len();
+            reader_xy.push(Instruction::load(y));
+            reader_xy.push(Instruction::op(1));
+
+            let r3_idx = reader_yx.len();
+            reader_yx.push(Instruction::load(y));
+            if fenced {
+                reader_yx.push(Instruction::fence());
+            }
+            let r4_idx = reader_yx.len();
+            reader_yx.push(Instruction::load(x));
+            reader_yx.push(Instruction::op(1));
+
+            observations.push(Observation {
+                loads: vec![(2, r1_idx), (2, r2_idx), (3, r3_idx), (3, r4_idx)],
+            });
+        }
+        LitmusTest {
+            kind: LitmusKind::Iriw,
+            iterations,
+            programs: vec![writer_x, writer_y, reader_xy, reader_yx],
             observations,
         }
     }
@@ -131,7 +250,7 @@ impl LitmusTest {
         self.iterations
     }
 
-    /// The per-core programs (always two cores).
+    /// The per-core programs (two cores, or four for IRIW).
     pub fn programs(&self) -> &[Program] {
         &self.programs
     }
@@ -149,12 +268,11 @@ impl LitmusTest {
         self.observations
             .iter()
             .filter(|obs| {
-                let first = value_of(obs.first.0, obs.first.1);
-                let second = value_of(obs.second.0, obs.second.1);
-                match (self.kind, first, second) {
-                    (LitmusKind::MessagePassing, Some(flag), Some(data)) => flag == 1 && data == 0,
-                    (LitmusKind::StoreBuffering, Some(r0), Some(r1)) => r0 == 0 && r1 == 0,
-                    _ => true,
+                let values: Option<Vec<u64>> =
+                    obs.loads.iter().map(|&(core, index)| value_of(core, index)).collect();
+                match values {
+                    Some(values) => self.kind.forbidden(&values),
+                    None => true,
                 }
             })
             .count()
@@ -204,6 +322,37 @@ mod tests {
         assert_eq!(t.count_forbidden(&allowed), 0);
         let forbidden = vec![vec![(1, 0)], vec![(1, 0)]];
         assert_eq!(t.count_forbidden(&forbidden), 1);
+    }
+
+    #[test]
+    fn load_buffering_structure_and_checker() {
+        let t = LitmusTest::load_buffering(1, false);
+        assert_eq!(t.kind(), LitmusKind::LoadBuffering);
+        assert_eq!(t.programs().len(), 2);
+        // Per iteration each core is [load, store, op]: loads sit at index 0.
+        let allowed = vec![vec![(0, 1)], vec![(0, 0)]];
+        assert_eq!(t.count_forbidden(&allowed), 0, "one load seeing the other's store is fine");
+        let forbidden = vec![vec![(0, 1)], vec![(0, 1)]];
+        assert_eq!(t.count_forbidden(&forbidden), 1, "both loads reading 1 is a causal cycle");
+    }
+
+    #[test]
+    fn iriw_structure_and_checker() {
+        let t = LitmusTest::iriw(1, false);
+        assert_eq!(t.kind(), LitmusKind::Iriw);
+        assert_eq!(t.programs().len(), 4, "two writers plus two readers");
+        // Reader traces per iteration are [load, load, op]: indexes 0 and 1.
+        let agree = vec![Vec::new(), Vec::new(), vec![(0, 1), (1, 1)], vec![(0, 1), (1, 1)]];
+        assert_eq!(t.count_forbidden(&agree), 0);
+        let disagree = vec![Vec::new(), Vec::new(), vec![(0, 1), (1, 0)], vec![(0, 1), (1, 0)]];
+        assert_eq!(t.count_forbidden(&disagree), 1, "contradictory write orders are forbidden");
+    }
+
+    #[test]
+    fn fenced_lb_and_iriw_contain_fences() {
+        assert_eq!(LitmusTest::load_buffering(4, true).programs()[0].fence_count(), 4);
+        assert_eq!(LitmusTest::iriw(3, true).programs()[2].fence_count(), 3);
+        assert_eq!(LitmusTest::iriw(3, true).programs()[0].fence_count(), 0, "writers unfenced");
     }
 
     #[test]

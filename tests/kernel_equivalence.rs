@@ -1,0 +1,124 @@
+//! Dense-vs-event-driven kernel equivalence: the event-driven simulation
+//! kernel skips cycles only when they are provably no-ops, so for every
+//! ordering engine and workload the two schedules must produce byte-identical
+//! [`MachineResult`]s — cycle counts, per-core counters, runtime breakdowns
+//! and retired-load values alike.
+//!
+//! This is the safety net for the whole quiescence analysis: any wake hint
+//! that fires too late, any state change the activity report misses, or any
+//! mis-attributed skipped cycle shows up here as a field-level mismatch.
+
+use ifence_sim::{Machine, MachineResult};
+use invisifence_repro::prelude::*;
+
+const MAX_CYCLES: u64 = 30_000_000;
+const INSTRUCTIONS: usize = 900;
+
+/// Every engine kind the acceptance criteria name, covering all three
+/// conventional models and every speculative policy.
+fn engines() -> Vec<EngineKind> {
+    vec![
+        EngineKind::Conventional(ConsistencyModel::Sc),
+        EngineKind::Conventional(ConsistencyModel::Tso),
+        EngineKind::Conventional(ConsistencyModel::Rmo),
+        EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+        EngineKind::InvisiSelectiveTwoCkpt(ConsistencyModel::Sc),
+        EngineKind::InvisiContinuous { commit_on_violate: false },
+        EngineKind::InvisiContinuous { commit_on_violate: true },
+        EngineKind::Aso(ConsistencyModel::Sc),
+    ]
+}
+
+fn run_with_kernel(engine: EngineKind, workload: &WorkloadSpec, dense: bool) -> MachineResult {
+    let mut cfg = MachineConfig::small_test(engine);
+    cfg.dense_kernel = dense;
+    let programs = workload.generate(cfg.cores, INSTRUCTIONS, cfg.seed);
+    Machine::new(cfg, programs).expect("valid config").into_result(MAX_CYCLES)
+}
+
+fn assert_equivalent(engine: EngineKind, workload: &WorkloadSpec) {
+    let dense = run_with_kernel(engine, workload, true);
+    let skipping = run_with_kernel(engine, workload, false);
+    assert!(dense.finished, "{} on {} did not finish", engine.label(), workload.name);
+    // Compare field by field first so a mismatch names the offending part…
+    assert_eq!(
+        dense.cycles,
+        skipping.cycles,
+        "{} on {}: cycle counts diverge",
+        engine.label(),
+        workload.name
+    );
+    for (core, (d, s)) in dense.per_core.iter().zip(&skipping.per_core).enumerate() {
+        assert_eq!(
+            d.breakdown,
+            s.breakdown,
+            "{} on {}: core {core} breakdown diverges",
+            engine.label(),
+            workload.name
+        );
+        assert_eq!(
+            d.counters,
+            s.counters,
+            "{} on {}: core {core} counters diverge",
+            engine.label(),
+            workload.name
+        );
+    }
+    assert_eq!(
+        dense.load_results,
+        skipping.load_results,
+        "{} on {}: retired-load values diverge",
+        engine.label(),
+        workload.name
+    );
+    // …then require full structural equality (finished, deadlocked, label).
+    assert_eq!(dense, skipping, "{} on {}: results diverge", engine.label(), workload.name);
+}
+
+#[test]
+fn every_engine_is_equivalent_on_barnes() {
+    let workload = presets::barnes();
+    for engine in engines() {
+        assert_equivalent(engine, &workload);
+    }
+}
+
+#[test]
+fn every_engine_is_equivalent_on_apache() {
+    let workload = presets::apache();
+    for engine in engines() {
+        assert_equivalent(engine, &workload);
+    }
+}
+
+#[test]
+fn litmus_runs_are_equivalent_across_kernels() {
+    // Litmus programs are adversarially contended, exercising deferral,
+    // rollback and replay paths the statistical workloads rarely hit.
+    for (name, test) in [
+        ("store-buffering", LitmusTest::store_buffering(15, false)),
+        ("message-passing", LitmusTest::message_passing(15, true)),
+        ("iriw", LitmusTest::iriw(15, false)),
+    ] {
+        for engine in [
+            EngineKind::Conventional(ConsistencyModel::Sc),
+            EngineKind::InvisiContinuous { commit_on_violate: true },
+            EngineKind::Aso(ConsistencyModel::Sc),
+        ] {
+            let run = |dense: bool| {
+                let mut cfg = MachineConfig::small_test(engine);
+                cfg.dense_kernel = dense;
+                cfg.seed = 1;
+                let mut programs = test.programs().to_vec();
+                while programs.len() < cfg.cores {
+                    programs.push(Program::new());
+                }
+                Machine::new(cfg, programs).expect("valid config").into_result(MAX_CYCLES)
+            };
+            let (dense, skipping) = (run(true), run(false));
+            assert!(dense.finished, "{} on {name} did not finish", engine.label());
+            assert_eq!(dense, skipping, "{} on {name}: results diverge", engine.label());
+        }
+    }
+}

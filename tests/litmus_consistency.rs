@@ -52,6 +52,65 @@ fn tso_preserves_store_order_in_message_passing() {
 }
 
 #[test]
+fn no_engine_shows_forbidden_load_buffering_outcomes() {
+    // Load buffering's forbidden outcome (both loads observing the other
+    // core's later store) requires load-value speculation, which no modeled
+    // engine performs: every consistency model and engine — conventional or
+    // speculative, SC through RMO — must report zero forbidden outcomes,
+    // fenced or not.
+    let every_engine = [
+        EngineKind::Conventional(ConsistencyModel::Sc),
+        EngineKind::Conventional(ConsistencyModel::Tso),
+        EngineKind::Conventional(ConsistencyModel::Rmo),
+        EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        EngineKind::InvisiSelective(ConsistencyModel::Tso),
+        EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+        EngineKind::InvisiSelectiveTwoCkpt(ConsistencyModel::Sc),
+        EngineKind::InvisiContinuous { commit_on_violate: false },
+        EngineKind::InvisiContinuous { commit_on_violate: true },
+        EngineKind::Aso(ConsistencyModel::Sc),
+    ];
+    for engine in every_engine {
+        for fenced in [false, true] {
+            let test = LitmusTest::load_buffering(ITERATIONS, fenced);
+            let forbidden = run_litmus(engine, &test, MAX_CYCLES);
+            assert_eq!(
+                forbidden,
+                0,
+                "{} (fenced={fenced}) allowed a load-buffering causal cycle",
+                engine.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn sc_enforcing_engines_never_show_forbidden_iriw_outcomes() {
+    let test = LitmusTest::iriw(ITERATIONS, false);
+    for engine in sc_enforcing_engines() {
+        let forbidden = run_litmus(engine, &test, MAX_CYCLES);
+        assert_eq!(forbidden, 0, "{} let IRIW readers disagree on write order", engine.label());
+    }
+}
+
+#[test]
+fn iriw_stays_store_atomic_even_under_weak_models() {
+    // The directory protocol serialises each block at a single point, so
+    // stores are multi-copy atomic: the IRIW relaxed outcome cannot occur
+    // even under conventional TSO/RMO, where the *model* would permit it on
+    // non-store-atomic hardware.
+    let test = LitmusTest::iriw(ITERATIONS, true);
+    for engine in [
+        EngineKind::Conventional(ConsistencyModel::Tso),
+        EngineKind::Conventional(ConsistencyModel::Rmo),
+        EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+    ] {
+        let forbidden = run_litmus(engine, &test, MAX_CYCLES);
+        assert_eq!(forbidden, 0, "{}: fenced IRIW must stay ordered", engine.label());
+    }
+}
+
+#[test]
 fn fences_restore_ordering_under_rmo() {
     // Under RMO the plain patterns may legally show relaxed outcomes, but with
     // full fences inserted both patterns become forbidden again — for the
