@@ -3,17 +3,20 @@
 //! Every table and figure of the paper has a `cargo bench` target in
 //! `benches/` (they are plain binaries, not Criterion timing loops, because
 //! what they produce is the figure's *data*). The experiment size is taken
-//! from the `IFENCE_INSTRS` / `IFENCE_SEED` environment variables, defaulting
-//! to 20 000 instructions per core on the 16-core paper machine. Experiment
-//! grids run through the parallel sweep engine in [`ifence_sim::sweep`] on
-//! `IFENCE_JOBS` worker threads (default: available cores) — the emitted
-//! tables are byte-identical at any job count.
+//! from the `IFENCE_INSTRS` / `IFENCE_SEED` environment variables,
+//! defaulting to 100 000 instructions per core on the 16-core paper machine
+//! (traces stream through bounded replay windows, so the budget is
+//! simulation time, not memory). Experiment grids run through the parallel
+//! sweep engine in [`ifence_sim::sweep`] on `IFENCE_JOBS` worker threads
+//! (default: available cores) — the emitted tables are byte-identical at any
+//! job count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use ifence_sim::runner::{process_env, EnvLookup};
 use ifence_sim::ExperimentParams;
-use ifence_workloads::{presets, WorkloadSpec};
+use ifence_workloads::{presets, Workload};
 
 pub use ifence_sim::sweep;
 
@@ -23,20 +26,27 @@ pub fn paper_params() -> ExperimentParams {
     ExperimentParams::from_env()
 }
 
-/// The full workload suite of Figure 7, or a subset selected with the
-/// `IFENCE_WORKLOADS` environment variable (comma-separated names).
-pub fn workload_suite() -> Vec<WorkloadSpec> {
-    match std::env::var("IFENCE_WORKLOADS") {
-        Ok(names) => {
-            let selected: Vec<WorkloadSpec> =
-                names.split(',').filter_map(|n| presets::by_name(n.trim())).collect();
+/// The runnable workload suite: the seven Figure 7 presets plus the phased
+/// `ServerSwings` scenario, or a subset selected with the `IFENCE_WORKLOADS`
+/// environment variable (comma-separated names).
+pub fn workload_suite() -> Vec<Workload> {
+    workload_suite_from(&process_env)
+}
+
+/// Like [`workload_suite`], but reading `IFENCE_WORKLOADS` through an
+/// injected lookup (testable without process-global environment mutation).
+pub fn workload_suite_from(lookup: EnvLookup<'_>) -> Vec<Workload> {
+    match lookup("IFENCE_WORKLOADS") {
+        Some(names) => {
+            let selected: Vec<Workload> =
+                names.split(',').filter_map(|n| presets::workload_by_name(n.trim())).collect();
             if selected.is_empty() {
-                presets::all_presets()
+                presets::all_workloads()
             } else {
                 selected
             }
         }
-        Err(_) => presets::all_presets(),
+        None => presets::all_workloads(),
     }
 }
 
@@ -61,25 +71,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_defaults_to_all_presets() {
-        std::env::remove_var("IFENCE_WORKLOADS");
-        assert_eq!(workload_suite().len(), 7);
+    fn suite_defaults_to_all_workloads_including_phased() {
+        let suite = workload_suite_from(&|_| None);
+        assert_eq!(suite.len(), 8, "seven presets plus ServerSwings");
+        assert_eq!(suite.last().unwrap().name(), "ServerSwings");
     }
 
     #[test]
     fn suite_can_be_narrowed_by_env() {
-        std::env::set_var("IFENCE_WORKLOADS", "Barnes, Ocean");
-        let suite = workload_suite();
-        std::env::remove_var("IFENCE_WORKLOADS");
+        let env = |name: &str| (name == "IFENCE_WORKLOADS").then(|| "Barnes, Ocean".to_string());
+        let suite = workload_suite_from(&env);
         assert_eq!(suite.len(), 2);
-        assert_eq!(suite[0].name, "Barnes");
+        assert_eq!(suite[0].name(), "Barnes");
     }
 
     #[test]
-    fn params_come_from_environment() {
-        std::env::set_var("IFENCE_INSTRS", "777");
-        let p = paper_params();
-        std::env::remove_var("IFENCE_INSTRS");
+    fn phased_scenario_is_selectable_by_name() {
+        let env = |name: &str| (name == "IFENCE_WORKLOADS").then(|| "ServerSwings".to_string());
+        let suite = workload_suite_from(&env);
+        assert_eq!(suite.len(), 1);
+        assert!(matches!(suite[0], Workload::Phased(_)));
+    }
+
+    #[test]
+    fn params_come_from_injected_environment() {
+        let env = |name: &str| (name == "IFENCE_INSTRS").then(|| "777".to_string());
+        let p = ExperimentParams::from_env_with(&env);
         assert_eq!(p.instructions_per_core, 777);
     }
 }

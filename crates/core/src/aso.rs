@@ -322,6 +322,10 @@ impl OrderingEngine for AsoEngine {
         self.speculating_now()
     }
 
+    fn rollback_floor(&self) -> Option<usize> {
+        self.checkpoints.first().map(|c| c.resume_at)
+    }
+
     fn on_spec_eviction_pressure(
         &mut self,
         mem: &mut CoreMem,

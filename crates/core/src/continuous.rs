@@ -37,11 +37,18 @@ impl InvisiContinuousEngine {
     /// Creates a continuous engine from the machine configuration (checkpoint
     /// count, minimum chunk size, commit-on-violate policy and timeout).
     pub fn new(cfg: &MachineConfig) -> Self {
+        Self::with_speculation(cfg.speculation)
+    }
+
+    /// Creates a continuous engine from just the speculation parameters (the
+    /// only part of the machine configuration it needs — the construction
+    /// path avoids cloning a whole `MachineConfig` per core).
+    pub fn with_speculation(speculation: ifence_types::SpeculationConfig) -> Self {
         InvisiContinuousEngine {
-            kernel: SpeculationKernel::new(cfg.speculation.checkpoints.max(2)),
-            commit_on_violate: cfg.speculation.commit_on_violate,
-            cov_timeout: cfg.speculation.cov_timeout,
-            min_chunk: cfg.speculation.min_chunk_instructions.max(1),
+            kernel: SpeculationKernel::new(speculation.checkpoints.max(2)),
+            commit_on_violate: speculation.commit_on_violate,
+            cov_timeout: speculation.cov_timeout,
+            min_chunk: speculation.min_chunk_instructions.max(1),
             retire_one_nonspec: false,
             pending_reads: Vec::new(),
         }
@@ -215,6 +222,10 @@ impl OrderingEngine for InvisiContinuousEngine {
 
     fn speculating(&self) -> bool {
         self.kernel.speculating()
+    }
+
+    fn rollback_floor(&self) -> Option<usize> {
+        self.kernel.oldest().map(|e| e.checkpoint)
     }
 
     fn subsumes_in_window(&self) -> bool {

@@ -27,15 +27,17 @@ pub fn build_engine(kind: EngineKind, cfg: &MachineConfig) -> Box<dyn OrderingEn
         EngineKind::Conventional(model) => Box::new(ConventionalEngine::new(model)),
         EngineKind::InvisiSelective(model) => Box::new(InvisiSelectiveEngine::new(model, cfg)),
         EngineKind::InvisiSelectiveTwoCkpt(model) => {
-            let mut cfg2 = cfg.clone();
-            cfg2.speculation.checkpoints = 2;
-            Box::new(InvisiSelectiveEngine::new(model, &cfg2))
+            // SpeculationConfig is Copy: adjust a copy instead of cloning the
+            // whole machine configuration per core.
+            let mut spec = cfg.speculation;
+            spec.checkpoints = 2;
+            Box::new(InvisiSelectiveEngine::with_speculation(model, spec))
         }
         EngineKind::InvisiContinuous { commit_on_violate } => {
-            let mut cfg2 = cfg.clone();
-            cfg2.speculation.checkpoints = cfg2.speculation.checkpoints.max(2);
-            cfg2.speculation.commit_on_violate = commit_on_violate;
-            Box::new(InvisiContinuousEngine::new(&cfg2))
+            let mut spec = cfg.speculation;
+            spec.checkpoints = spec.checkpoints.max(2);
+            spec.commit_on_violate = commit_on_violate;
+            Box::new(InvisiContinuousEngine::with_speculation(spec))
         }
         EngineKind::Aso(model) => Box::new(AsoEngine::new(model, cfg)),
     }

@@ -51,12 +51,22 @@ impl InvisiSelectiveEngine {
     /// Creates a selective engine enforcing `model` with the speculation
     /// parameters of `cfg` (checkpoint count, commit-on-violate policy).
     pub fn new(model: ConsistencyModel, cfg: &MachineConfig) -> Self {
+        Self::with_speculation(model, cfg.speculation)
+    }
+
+    /// Creates a selective engine from just the speculation parameters (the
+    /// only part of the machine configuration it needs — the construction
+    /// path avoids cloning a whole `MachineConfig` per core).
+    pub fn with_speculation(
+        model: ConsistencyModel,
+        speculation: ifence_types::SpeculationConfig,
+    ) -> Self {
         InvisiSelectiveEngine {
             model,
-            kernel: SpeculationKernel::new(cfg.speculation.checkpoints),
-            commit_on_violate: cfg.speculation.commit_on_violate,
-            cov_timeout: cfg.speculation.cov_timeout,
-            second_checkpoint_after: cfg.speculation.aso_checkpoint_interval.max(1),
+            kernel: SpeculationKernel::new(speculation.checkpoints),
+            commit_on_violate: speculation.commit_on_violate,
+            cov_timeout: speculation.cov_timeout,
+            second_checkpoint_after: speculation.aso_checkpoint_interval.max(1),
             must_retire_nonspec: false,
         }
     }
@@ -257,6 +267,10 @@ impl OrderingEngine for InvisiSelectiveEngine {
 
     fn speculating(&self) -> bool {
         self.kernel.speculating()
+    }
+
+    fn rollback_floor(&self) -> Option<usize> {
+        self.kernel.oldest().map(|e| e.checkpoint)
     }
 
     fn can_drain(&self, epoch: Option<u8>) -> bool {

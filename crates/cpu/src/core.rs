@@ -9,8 +9,8 @@ use crate::rob::Rob;
 use ifence_coherence::{CoherenceRequest, Delivery, SnoopReply, TxnId};
 use ifence_stats::CoreStats;
 use ifence_types::{
-    earliest_wake, BlockAddr, CoreActivity, CoreConfig, CoreId, Cycle, CycleClass, InstrKind,
-    MachineConfig, Program, StallReason,
+    earliest_wake, BlockAddr, BoxedSource, CoreActivity, CoreConfig, CoreId, Cycle, CycleClass,
+    InstrKind, MachineConfig, Program, ProgramSource, StallReason,
 };
 
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +31,10 @@ pub struct Core {
     id: CoreId,
     cfg: CoreConfig,
     l1_hit_latency: u64,
-    program: Program,
+    source: BoxedSource,
+    /// High-water mark of the source's resident window (memory-boundedness
+    /// diagnostics for streaming traces).
+    max_resident: usize,
     next_fetch: usize,
     retired: usize,
     next_dispatch_id: u64,
@@ -46,11 +49,28 @@ pub struct Core {
 }
 
 impl Core {
-    /// Creates a core executing `program` under the given machine
-    /// configuration and ordering engine.
+    /// Creates a core executing the exact, pre-materialized `program` under
+    /// the given machine configuration and ordering engine (convenience
+    /// wrapper over [`Core::from_source`] for litmus and unit tests).
     pub fn new(
         id: CoreId,
         program: Program,
+        cfg: &MachineConfig,
+        engine: Box<dyn OrderingEngine>,
+    ) -> Self {
+        Self::from_source(id, Box::new(ProgramSource::new(program)), cfg, engine)
+    }
+
+    /// Creates a core fetching its trace from `source` — the streaming
+    /// construction path. The source must honour the
+    /// [`ifence_types::InstructionSource`] replay-window contract; the core
+    /// in turn releases indices only once they are behind both the
+    /// retirement frontier and the engine's oldest live checkpoint
+    /// ([`OrderingEngine::rollback_floor`]), so every possible rollback
+    /// target stays fetchable.
+    pub fn from_source(
+        id: CoreId,
+        source: BoxedSource,
         cfg: &MachineConfig,
         engine: Box<dyn OrderingEngine>,
     ) -> Self {
@@ -58,7 +78,8 @@ impl Core {
             id,
             cfg: cfg.core,
             l1_hit_latency: cfg.l1.hit_latency,
-            program,
+            max_resident: source.resident(),
+            source,
             next_fetch: 0,
             retired: 0,
             next_dispatch_id: 0,
@@ -100,10 +121,24 @@ impl Core {
         &self.load_results
     }
 
+    /// High-water mark of the trace source's resident window. For a
+    /// streaming source this stays O(replay window); for a materialized
+    /// [`ProgramSource`] it is the whole trace length.
+    pub fn max_trace_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    /// True once every instruction up to the trace's (known) end has
+    /// retired. While a streaming source has not yet found its end this is
+    /// false — more instructions are still to come.
+    fn trace_done(&self) -> bool {
+        self.source.end().is_some_and(|end| self.retired >= end)
+    }
+
     /// True when every instruction has retired, the store buffer has drained,
     /// and no speculation is in flight.
     pub fn finished(&self) -> bool {
-        self.retired >= self.program.len()
+        self.trace_done()
             && self.rob.is_empty()
             && self.mem.sb_empty()
             && !self.engine.speculating()
@@ -155,12 +190,16 @@ impl Core {
                 )
             })
             .collect();
+        let trace_len = match self.source.end() {
+            Some(end) => end.to_string(),
+            None => "?".to_string(),
+        };
         format!(
             "core{} now={} retired={}/{} rob={} sb={} spec={} deferred={} {} mshrs=[{}]",
             self.id.index(),
             now,
             self.retired,
-            self.program.len(),
+            trace_len,
             self.rob.len(),
             self.mem.sb.len(),
             self.engine.speculating(),
@@ -469,7 +508,10 @@ impl Core {
             let head = match self.rob.head() {
                 Some(h) => *h,
                 None => {
-                    if self.next_fetch < self.program.len() {
+                    // More instructions remain when the fetch frontier is
+                    // below the trace end — or the end is not known yet
+                    // (a streaming source still generating).
+                    if self.source.end().map_or(true, |end| self.next_fetch < end) {
                         stall = Some(StallReason::RobEmpty);
                     }
                     break;
@@ -517,16 +559,14 @@ impl Core {
 
     fn dispatch_stage(&mut self) -> usize {
         let mut dispatched = 0;
-        while dispatched < self.cfg.width
-            && !self.rob.is_full()
-            && self.next_fetch < self.program.len()
-        {
-            let instr = *self.program.get(self.next_fetch).expect("index bounded by len");
+        while dispatched < self.cfg.width && !self.rob.is_full() {
+            let Some(instr) = self.source.fetch(self.next_fetch) else { break };
             self.rob.push(self.next_fetch, self.next_dispatch_id, instr);
             self.next_fetch += 1;
             self.next_dispatch_id += 1;
             dispatched += 1;
         }
+        self.max_resident = self.max_resident.max(self.source.resident());
         dispatched
     }
 
@@ -566,12 +606,18 @@ impl Core {
         // 6. Dispatch new instructions from the trace.
         let dispatched = self.dispatch_stage();
 
+        // Release trace indices that no rollback can ever revisit: everything
+        // behind both the retirement frontier and the engine's oldest live
+        // checkpoint. A streaming source discards its window up to here.
+        let frontier = self.engine.rollback_floor().unwrap_or(self.retired).min(self.retired);
+        self.source.release(frontier);
+
         // End of program: once everything has retired and drained, fold any
         // still-open speculation into the final state (its ordering
         // requirements are trivially satisfied because the store buffer is
         // empty).
         let mut finalized = false;
-        if self.retired >= self.program.len()
+        if self.trace_done()
             && self.rob.is_empty()
             && self.mem.sb_empty()
             && self.engine.speculating()

@@ -168,6 +168,17 @@ pub trait OrderingEngine {
         false
     }
 
+    /// The oldest program index any future rollback of this engine could
+    /// resume at — the oldest live checkpoint. `None` means the engine can
+    /// never roll execution back behind the retirement frontier, which is
+    /// then the core's safe trace-release point. Engines holding live
+    /// checkpoints must report the oldest one so a streaming
+    /// [`ifence_types::InstructionSource`] keeps its replay window open far
+    /// enough for `AckAfterRollback`/[`EngineAction::Rollback`] replays.
+    fn rollback_floor(&self) -> Option<usize> {
+        None
+    }
+
     /// True if the engine subsumes the in-window ordering mechanism (load
     /// queue snooping), as InvisiFence-Continuous does; the core then skips
     /// in-window replays.

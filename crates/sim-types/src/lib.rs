@@ -7,6 +7,8 @@
 //!   time ([`addr`]).
 //! * [`Instruction`] and [`Program`] — the trace representation consumed by
 //!   the core timing model ([`instr`]).
+//! * [`InstructionSource`] — streaming trace delivery within a bounded
+//!   replay window, with adapters for materialized programs ([`source`]).
 //! * [`ConsistencyModel`] and [`EngineKind`] — which memory-ordering rules a
 //!   core enforces and which implementation (conventional, InvisiFence
 //!   selective/continuous, ASO) enforces them ([`model`]).
@@ -38,6 +40,7 @@ pub mod addr;
 pub mod config;
 pub mod instr;
 pub mod model;
+pub mod source;
 pub mod stall;
 
 pub use activity::{earliest_wake, CoreActivity};
@@ -48,4 +51,5 @@ pub use config::{
 };
 pub use instr::{FenceKind, InstrKind, Instruction, Program};
 pub use model::{ConsistencyModel, StoreBufferKind};
+pub use source::{BoxedSource, EmptySource, InstructionSource, ProgramSource};
 pub use stall::{CycleClass, StallReason};

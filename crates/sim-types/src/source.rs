@@ -1,0 +1,162 @@
+//! Streaming instruction delivery: the bounded-replay-window trace contract.
+//!
+//! The core timing model is trace driven, but a trace does not have to be
+//! materialized up front. An [`InstructionSource`] serves instructions *by
+//! program index* within a replay window: the consumer (the core) fetches
+//! monotonically at its fetch frontier, may re-fetch any index down to the
+//! release frontier (checkpoint rollback replays the trace from
+//! `resume_at`), and promises — via [`InstructionSource::release`] — never
+//! to look behind the oldest live checkpoint again. A streaming source can
+//! therefore discard everything behind the release frontier and generate
+//! ahead lazily, holding O(window) state regardless of trace length, where
+//! the window is bounded by ROB depth plus the maximum speculation depth.
+//!
+//! Two adapters cover the materialized cases:
+//!
+//! * [`ProgramSource`] wraps an existing [`Program`], serving its exact
+//!   instructions (litmus tests and unit tests keep their handwritten
+//!   traces).
+//! * [`EmptySource`] is the zero-instruction trace, used to pad idle cores
+//!   without allocating anything.
+
+use crate::instr::{Instruction, Program};
+
+/// A boxed, sendable instruction source (the form cores consume).
+pub type BoxedSource = Box<dyn InstructionSource>;
+
+/// Serves a core's instruction trace by index within a bounded replay
+/// window.
+///
+/// # Contract
+///
+/// * `fetch(i)` returns the instruction at program index `i`, or `None` once
+///   the trace has ended. The end is stable: if `fetch(i)` returns `None`,
+///   every `fetch(j)` with `j >= i` returns `None`.
+/// * Any index in `[release frontier, end)` may be fetched, in any order and
+///   repeatedly — rollback re-fetches a suffix of previously served
+///   instructions, and both fetches must return the same instruction.
+/// * After `release(f)`, indices below `f` will never be fetched again; the
+///   source may discard the state needed to serve them. Release frontiers
+///   are monotone (a source must tolerate, and ignore, a smaller `f`).
+pub trait InstructionSource: Send {
+    /// The instruction at program index `index`, or `None` past the end of
+    /// the trace. Streaming sources generate lazily here.
+    fn fetch(&mut self, index: usize) -> Option<Instruction>;
+
+    /// Promises that no index below `frontier` will be fetched again.
+    fn release(&mut self, frontier: usize);
+
+    /// Total trace length, if already known. Materialized sources know it up
+    /// front; streaming sources learn it when generation finishes (which is
+    /// guaranteed to happen no later than the first `fetch` that returns
+    /// `None`).
+    fn end(&self) -> Option<usize>;
+
+    /// Instructions currently held in memory by this source. For a streaming
+    /// source this is the replay window; for a materialized adapter it is
+    /// the whole trace. Drives the memory-boundedness checks.
+    fn resident(&self) -> usize;
+}
+
+/// Adapter serving a pre-materialized [`Program`] unchanged.
+///
+/// `release` is a no-op: the program is owned as one allocation, so there is
+/// nothing to reclaim incrementally — which also makes the adapter tolerant
+/// of test-only engines that roll back behind the declared frontier.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramSource {
+    program: Program,
+}
+
+impl ProgramSource {
+    /// Wraps `program` as a source.
+    pub fn new(program: Program) -> Self {
+        ProgramSource { program }
+    }
+}
+
+impl From<Program> for ProgramSource {
+    fn from(program: Program) -> Self {
+        ProgramSource::new(program)
+    }
+}
+
+impl InstructionSource for ProgramSource {
+    fn fetch(&mut self, index: usize) -> Option<Instruction> {
+        self.program.get(index).copied()
+    }
+
+    fn release(&mut self, _frontier: usize) {}
+
+    fn end(&self) -> Option<usize> {
+        Some(self.program.len())
+    }
+
+    fn resident(&self) -> usize {
+        self.program.len()
+    }
+}
+
+/// The zero-instruction trace: pads idle cores without any allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptySource;
+
+impl InstructionSource for EmptySource {
+    fn fetch(&mut self, _index: usize) -> Option<Instruction> {
+        None
+    }
+
+    fn release(&mut self, _frontier: usize) {}
+
+    fn end(&self) -> Option<usize> {
+        Some(0)
+    }
+
+    fn resident(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn three_loads() -> Program {
+        (0..3).map(|i| Instruction::load(Addr::new(0x100 + i * 64))).collect()
+    }
+
+    #[test]
+    fn program_source_serves_exact_trace_and_replays() {
+        let program = three_loads();
+        let mut source = ProgramSource::new(program.clone());
+        assert_eq!(source.end(), Some(3));
+        assert_eq!(source.resident(), 3);
+        for (i, instr) in program.iter().enumerate() {
+            assert_eq!(source.fetch(i), Some(*instr));
+        }
+        assert_eq!(source.fetch(3), None);
+        // Rollback: re-fetching inside the window returns the same trace.
+        source.release(1);
+        assert_eq!(source.fetch(1), program.get(1).copied());
+        assert_eq!(source.fetch(2), program.get(2).copied());
+    }
+
+    #[test]
+    fn empty_source_is_immediately_exhausted() {
+        let mut source = EmptySource;
+        assert_eq!(source.fetch(0), None);
+        assert_eq!(source.end(), Some(0));
+        assert_eq!(source.resident(), 0);
+        source.release(10);
+        assert_eq!(source.fetch(5), None);
+    }
+
+    #[test]
+    fn boxed_sources_are_interchangeable() {
+        let mut sources: Vec<BoxedSource> =
+            vec![Box::new(ProgramSource::new(three_loads())), Box::new(EmptySource)];
+        assert_eq!(sources[0].fetch(0), Some(Instruction::load(Addr::new(0x100))));
+        assert_eq!(sources[1].fetch(0), None);
+    }
+}

@@ -11,7 +11,7 @@ use crate::runner::ExperimentParams;
 use crate::sweep::ExperimentMatrix;
 use ifence_stats::{ColumnTable, RunSummary};
 use ifence_types::{ConsistencyModel, CycleClass, EngineKind};
-use ifence_workloads::WorkloadSpec;
+use ifence_workloads::Workload;
 
 /// The results of one figure: per-workload summaries for every configuration
 /// the figure compares, in figure order.
@@ -29,7 +29,7 @@ impl FigureData {
     fn run(
         figure: &str,
         engines: &[EngineKind],
-        workloads: &[WorkloadSpec],
+        workloads: &[Workload],
         params: &ExperimentParams,
     ) -> Self {
         FigureData {
@@ -74,7 +74,7 @@ const SELECTIVE_ENGINES: [EngineKind; 6] = [
 
 /// Figure 1: ordering stalls (SB drain / SB full) in conventional SC, TSO and
 /// RMO, as a percentage of each configuration's execution time.
-pub fn figure1(workloads: &[WorkloadSpec], params: &ExperimentParams) -> (FigureData, ColumnTable) {
+pub fn figure1(workloads: &[Workload], params: &ExperimentParams) -> (FigureData, ColumnTable) {
     let engines = [
         EngineKind::Conventional(ConsistencyModel::Sc),
         EngineKind::Conventional(ConsistencyModel::Tso),
@@ -101,7 +101,7 @@ pub fn figure1(workloads: &[WorkloadSpec], params: &ExperimentParams) -> (Figure
 
 /// Runs the six configurations shared by Figures 8, 9 and 10 (conventional and
 /// InvisiFence-Selective variants of SC, TSO, RMO).
-pub fn selective_matrix(workloads: &[WorkloadSpec], params: &ExperimentParams) -> FigureData {
+pub fn selective_matrix(workloads: &[Workload], params: &ExperimentParams) -> FigureData {
     FigureData::run("Figures 8-10", &SELECTIVE_ENGINES, workloads, params)
 }
 
@@ -173,10 +173,7 @@ pub fn figure10(data: &FigureData) -> ColumnTable {
 
 /// Figure 11: ASOsc versus InvisiFence-SC with one and two checkpoints,
 /// runtime normalised to ASOsc.
-pub fn figure11(
-    workloads: &[WorkloadSpec],
-    params: &ExperimentParams,
-) -> (FigureData, ColumnTable) {
+pub fn figure11(workloads: &[Workload], params: &ExperimentParams) -> (FigureData, ColumnTable) {
     let engines = [
         EngineKind::Aso(ConsistencyModel::Sc),
         EngineKind::InvisiSelective(ConsistencyModel::Sc),
@@ -201,10 +198,7 @@ pub fn figure11(
 
 /// Figure 12: conventional SC and RMO versus InvisiFence-Continuous (with and
 /// without commit-on-violate) and InvisiFence-RMO, normalised to SC.
-pub fn figure12(
-    workloads: &[WorkloadSpec],
-    params: &ExperimentParams,
-) -> (FigureData, ColumnTable) {
+pub fn figure12(workloads: &[Workload], params: &ExperimentParams) -> (FigureData, ColumnTable) {
     let engines = [
         EngineKind::Conventional(ConsistencyModel::Sc),
         EngineKind::InvisiContinuous { commit_on_violate: false },
@@ -242,8 +236,8 @@ mod tests {
         p
     }
 
-    fn one_workload() -> Vec<WorkloadSpec> {
-        vec![presets::barnes()]
+    fn one_workload() -> Vec<Workload> {
+        vec![presets::barnes().into()]
     }
 
     #[test]

@@ -7,16 +7,19 @@
 //! or ASO).
 //!
 //! * [`Machine`] — builds the cores and the coherence fabric from a
-//!   [`ifence_types::MachineConfig`] and a set of per-core programs, and runs
-//!   them under the event-driven simulation kernel, which skips provably
-//!   quiescent cycles (byte-identical to the dense poll-every-cycle debug
-//!   mode, `IFENCE_DENSE=1`) and stops immediately with a diagnostic when it
+//!   [`ifence_types::MachineConfig`] and one per-core trace source
+//!   ([`Machine::from_sources`] streams through bounded replay windows;
+//!   [`Machine::new`] adapts pre-materialized programs), and runs them under
+//!   the event-driven simulation kernel, which skips provably quiescent
+//!   cycles (byte-identical to the dense poll-every-cycle debug mode,
+//!   `IFENCE_DENSE=1`) and stops immediately with a diagnostic when it
 //!   proves the machine deadlocked. [`Machine::into_result`] is the
 //!   consuming finalisation path that moves (never clones) the per-core
 //!   statistics into the [`machine::MachineResult`].
-//! * [`runner`] — convenience functions that run one workload under one
-//!   engine and return a [`ifence_stats::RunSummary`]; experiment sizes are
-//!   controlled by [`runner::ExperimentParams`] (override with the
+//! * [`runner`] — convenience functions that run one
+//!   [`ifence_workloads::Workload`] (steady preset or phased scenario) under
+//!   one engine and return a [`ifence_stats::RunSummary`]; experiment sizes
+//!   are controlled by [`runner::ExperimentParams`] (override with the
 //!   `IFENCE_INSTRS` / `IFENCE_SEED` environment variables).
 //! * [`sweep`] — the parallel experiment-sweep engine: an
 //!   [`sweep::ExperimentMatrix`] of (engine × workload) cells executed across

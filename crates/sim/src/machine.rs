@@ -34,7 +34,9 @@
 use ifence_coherence::{CoherenceFabric, FabricConfig};
 use ifence_cpu::Core;
 use ifence_stats::{CoreStats, RunSummary};
-use ifence_types::{earliest_wake, CoreId, Cycle, CycleClass, MachineConfig, Program};
+use ifence_types::{
+    earliest_wake, BoxedSource, CoreId, Cycle, CycleClass, MachineConfig, Program, ProgramSource,
+};
 use invisifence::build_engine;
 use std::fmt;
 
@@ -123,23 +125,46 @@ struct CycleOutcome {
 }
 
 impl Machine {
-    /// Builds a machine from a configuration and one program per core.
+    /// Builds a machine from a configuration and one pre-materialized
+    /// program per core (convenience wrapper over [`Machine::from_sources`]
+    /// for litmus and unit tests, which keep their exact traces).
     ///
     /// # Errors
     /// Returns an error if the configuration is invalid or the number of
     /// programs does not match the number of cores.
     pub fn new(cfg: MachineConfig, programs: Vec<Program>) -> Result<Self, MachineBuildError> {
+        let sources = programs
+            .into_iter()
+            .map(|program| Box::new(ProgramSource::new(program)) as BoxedSource)
+            .collect();
+        Self::from_sources(cfg, sources)
+    }
+
+    /// Builds a machine from a configuration and one instruction source per
+    /// core — the streaming construction path: a lazily generating source
+    /// holds only its replay window, so trace length is bounded by simulated
+    /// time, not memory.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is invalid or the number of
+    /// sources does not match the number of cores.
+    pub fn from_sources(
+        cfg: MachineConfig,
+        sources: Vec<BoxedSource>,
+    ) -> Result<Self, MachineBuildError> {
         cfg.validate().map_err(|e| MachineBuildError { message: e.to_string() })?;
-        if programs.len() != cfg.cores {
+        if sources.len() != cfg.cores {
             return Err(MachineBuildError {
-                message: format!("{} programs provided for {} cores", programs.len(), cfg.cores),
+                message: format!("{} sources provided for {} cores", sources.len(), cfg.cores),
             });
         }
         let fabric = CoherenceFabric::new(FabricConfig::from_machine(&cfg));
-        let cores: Vec<Core> = programs
+        let cores: Vec<Core> = sources
             .into_iter()
             .enumerate()
-            .map(|(i, program)| Core::new(CoreId(i), program, &cfg, build_engine(cfg.engine, &cfg)))
+            .map(|(i, source)| {
+                Core::from_source(CoreId(i), source, &cfg, build_engine(cfg.engine, &cfg))
+            })
             .collect();
         let dense = cfg.dense_kernel || env_dense_override();
         let sleeping = vec![None; cores.len()];
@@ -165,6 +190,15 @@ impl Machine {
     /// Access to a core (diagnostics/tests).
     pub fn core(&self, index: usize) -> &Core {
         &self.cores[index]
+    }
+
+    /// High-water mark, over all cores, of the trace sources' resident
+    /// windows. On the streaming path this stays O(replay window) however
+    /// long the trace is; on the materialized path it equals the trace
+    /// length. Query it after [`Machine::run`] to demonstrate the memory
+    /// bound (the long-trace CI smoke does).
+    pub fn max_trace_resident(&self) -> usize {
+        self.cores.iter().map(Core::max_trace_resident).max().unwrap_or(0)
     }
 
     /// Initialises a memory word in the backing store (litmus tests).
@@ -313,17 +347,27 @@ impl Machine {
         out
     }
 
-    /// Runs until every core finishes, a deadlock is detected, or
-    /// `max_cycles` elapse, then finalises statistics and returns the result
-    /// (cloning the per-core data; prefer [`Machine::into_result`] when the
-    /// machine is not needed afterwards).
-    pub fn run(&mut self, max_cycles: Cycle) -> MachineResult {
+    /// The shared tail of both finalisation paths: drive the loop, flush
+    /// sleep attribution, fold any still-open speculation into the
+    /// statistics, and report `(finished, deadlocked, diagnostic)`. Only the
+    /// clone-vs-move extraction of the per-core data differs between
+    /// [`Machine::run`] and [`Machine::into_result`].
+    fn finalise(&mut self, max_cycles: Cycle) -> (bool, bool, Option<String>) {
         let (deadlocked, deadlock_diagnostic) = self.run_loop(max_cycles);
         self.wake_all();
         let finished = self.all_finished();
         for core in &mut self.cores {
             core.finalize();
         }
+        (finished, deadlocked, deadlock_diagnostic)
+    }
+
+    /// Runs until every core finishes, a deadlock is detected, or
+    /// `max_cycles` elapse, then finalises statistics and returns the result
+    /// (cloning the per-core data; prefer [`Machine::into_result`] when the
+    /// machine is not needed afterwards).
+    pub fn run(&mut self, max_cycles: Cycle) -> MachineResult {
+        let (finished, deadlocked, deadlock_diagnostic) = self.finalise(max_cycles);
         MachineResult {
             cycles: self.now,
             finished,
@@ -339,12 +383,7 @@ impl Machine {
     /// core's statistics and load results into the result instead of cloning
     /// them — the finalisation path the experiment runners use.
     pub fn into_result(mut self, max_cycles: Cycle) -> MachineResult {
-        let (deadlocked, deadlock_diagnostic) = self.run_loop(max_cycles);
-        self.wake_all();
-        let finished = self.all_finished();
-        for core in &mut self.cores {
-            core.finalize();
-        }
+        let (finished, deadlocked, deadlock_diagnostic) = self.finalise(max_cycles);
         let config_label = self.cfg.engine.label();
         let (per_core, load_results) = self.cores.into_iter().map(Core::into_parts).unzip();
         MachineResult {
@@ -399,7 +438,7 @@ mod tests {
     fn rejects_mismatched_program_count() {
         let cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
         let err = Machine::new(cfg, vec![Program::default()]).err().expect("must be rejected");
-        assert!(err.to_string().contains("programs"));
+        assert!(err.to_string().contains("sources"));
     }
 
     #[test]

@@ -2,14 +2,16 @@
 
 use crate::machine::Machine;
 use ifence_stats::RunSummary;
-use ifence_types::{EngineKind, MachineConfig};
-use ifence_workloads::{LitmusTest, WorkloadSpec};
+use ifence_types::{BoxedSource, EmptySource, EngineKind, MachineConfig, ProgramSource};
+use ifence_workloads::{LitmusTest, Workload};
 
 /// Parameters of one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExperimentParams {
     /// Instructions per core (the paper samples 10–30 s of execution; this
-    /// reproduction uses trace length as the budget knob).
+    /// reproduction uses trace length as the budget knob). Traces stream
+    /// through a bounded replay window, so memory does not bound this —
+    /// only simulation time does.
     pub instructions_per_core: usize,
     /// Workload-generation seed.
     pub seed: u64,
@@ -34,13 +36,24 @@ pub fn available_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Reads and parses an environment variable, warning on stderr (and keeping
+/// An environment lookup: maps a variable name to its value, if set. The
+/// process environment is [`process_env`]; tests inject closures over fixed
+/// maps instead of mutating the process-global environment (which races with
+/// the parallel test harness).
+pub type EnvLookup<'a> = &'a dyn Fn(&str) -> Option<String>;
+
+/// The real process environment, as an [`EnvLookup`].
+pub fn process_env(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// Parses a variable from `lookup`, warning on stderr (and keeping
 /// `default`) when the value is present but unparseable — a silent fallback
 /// would make a typo in e.g. `IFENCE_SEED=0x7` regenerate every figure with
 /// the wrong seed and no indication why.
-fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
-    match std::env::var(name) {
-        Ok(raw) => match raw.trim().parse::<T>() {
+fn env_parse<T: std::str::FromStr>(lookup: EnvLookup<'_>, name: &str, default: T) -> T {
+    match lookup(name) {
+        Some(raw) => match raw.trim().parse::<T>() {
             Ok(value) => value,
             Err(_) => {
                 eprintln!(
@@ -50,16 +63,19 @@ fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
                 default
             }
         },
-        Err(_) => default,
+        None => default,
     }
 }
 
 impl Default for ExperimentParams {
     fn default() -> Self {
         ExperimentParams {
-            instructions_per_core: 20_000,
+            // Streaming trace delivery holds only the replay window in
+            // memory, so the default budget is set by how long a run should
+            // take, not by how much memory 16 materialized traces would eat.
+            instructions_per_core: 100_000,
             seed: 0x1F3C_E5EE,
-            max_cycles: 200_000_000,
+            max_cycles: 2_000_000_000,
             full_machine: true,
             parallelism: available_jobs(),
             dense_kernel: false,
@@ -73,20 +89,26 @@ impl ExperimentParams {
     /// `IFENCE_INSTRS`, `IFENCE_SEED` and `IFENCE_JOBS` environment
     /// variables. Unparseable values warn on stderr and keep the default.
     pub fn from_env() -> Self {
+        Self::from_env_with(&process_env)
+    }
+
+    /// Like [`ExperimentParams::from_env`], but reading variables through an
+    /// injected lookup (testable without process-global mutation).
+    pub fn from_env_with(lookup: EnvLookup<'_>) -> Self {
         let mut params = ExperimentParams::default();
         params.instructions_per_core =
-            env_parse("IFENCE_INSTRS", params.instructions_per_core).max(1);
-        params.seed = env_parse("IFENCE_SEED", params.seed);
-        params.parallelism = env_parse("IFENCE_JOBS", params.parallelism).max(1);
-        params.dense_kernel = match std::env::var("IFENCE_DENSE") {
-            Ok(raw) => crate::machine::parse_dense_flag(&raw).unwrap_or_else(|| {
+            env_parse(lookup, "IFENCE_INSTRS", params.instructions_per_core).max(1);
+        params.seed = env_parse(lookup, "IFENCE_SEED", params.seed);
+        params.parallelism = env_parse(lookup, "IFENCE_JOBS", params.parallelism).max(1);
+        params.dense_kernel = match lookup("IFENCE_DENSE") {
+            Some(raw) => crate::machine::parse_dense_flag(&raw).unwrap_or_else(|| {
                 eprintln!(
                     "warning: ignoring unparseable IFENCE_DENSE={raw:?} (expected 0/1); \
                      using the default"
                 );
                 false
             }),
-            Err(_) => false,
+            None => false,
         };
         params
     }
@@ -123,19 +145,24 @@ impl ExperimentParams {
 
 /// Runs `workload` under the given ordering engine and returns the summary.
 ///
+/// Traces are streamed through per-core [`ifence_types::InstructionSource`]s
+/// (generation overlapped with simulation, O(replay window) memory per
+/// core), never materialized.
+///
 /// # Panics
 /// Panics if the machine cannot be constructed from the derived configuration
-/// (which would indicate an internal configuration bug, not user error).
+/// (which would indicate an internal configuration bug, not user error), or
+/// if the workload fails validation.
 pub fn run_experiment(
     engine: EngineKind,
-    workload: &WorkloadSpec,
+    workload: &Workload,
     params: &ExperimentParams,
 ) -> RunSummary {
     let cfg = params.config_for(engine);
-    let programs = workload.generate(cfg.cores, params.instructions_per_core, params.seed);
-    let machine = Machine::new(cfg, programs).expect("derived configuration is valid");
+    let sources = workload.sources(cfg.cores, params.instructions_per_core, params.seed);
+    let machine = Machine::from_sources(cfg, sources).expect("derived configuration is valid");
     let result = machine.into_result(params.max_cycles);
-    result.summary(workload.name.clone())
+    result.summary(workload.name())
 }
 
 /// Runs a litmus test under the given engine and returns the number of
@@ -146,15 +173,19 @@ pub fn run_experiment(
 /// if the run deadlocks or hits the cycle limit.
 pub fn run_litmus(engine: EngineKind, test: &LitmusTest, max_cycles: u64) -> usize {
     let mut cfg = MachineConfig::small_test(engine);
-    // Litmus tests use two to four active cores; pad with empty programs for
-    // the rest.
-    let mut programs = test.programs().to_vec();
-    assert!(programs.len() <= cfg.cores, "litmus test needs more cores than the machine has");
-    while programs.len() < cfg.cores {
-        programs.push(ifence_types::Program::new());
+    // Litmus tests use two to four active cores; pad the rest with the
+    // zero-allocation empty source.
+    let mut sources: Vec<BoxedSource> = test
+        .programs()
+        .iter()
+        .map(|program| Box::new(ProgramSource::new(program.clone())) as BoxedSource)
+        .collect();
+    assert!(sources.len() <= cfg.cores, "litmus test needs more cores than the machine has");
+    while sources.len() < cfg.cores {
+        sources.push(Box::new(EmptySource));
     }
     cfg.seed = 1;
-    let machine = Machine::new(cfg, programs).expect("litmus configuration is valid");
+    let machine = Machine::from_sources(cfg, sources).expect("litmus configuration is valid");
     let result = machine.into_result(max_cycles);
     assert!(!result.deadlocked, "litmus run deadlocked: {:?}", result.deadlock_diagnostic);
     assert!(result.finished, "litmus run hit the cycle limit");
@@ -171,7 +202,7 @@ mod tests {
     fn default_params_use_paper_machine() {
         let p = ExperimentParams::default();
         assert!(p.full_machine);
-        assert!(p.instructions_per_core >= 10_000);
+        assert!(p.instructions_per_core >= 100_000, "streaming raised the default budget");
     }
 
     #[test]
@@ -179,7 +210,7 @@ mod tests {
         let params = ExperimentParams::quick_test();
         let summary = run_experiment(
             EngineKind::Conventional(ConsistencyModel::Tso),
-            &presets::barnes(),
+            &presets::barnes().into(),
             &params,
         );
         assert_eq!(summary.config, "tso");
@@ -189,15 +220,38 @@ mod tests {
     }
 
     #[test]
-    fn env_override_parses() {
-        // Only checks the parsing path is robust to garbage.
-        std::env::set_var("IFENCE_INSTRS", "123");
-        std::env::set_var("IFENCE_SEED", "garbage");
-        let p = ExperimentParams::from_env();
+    fn env_override_parses_through_injected_lookup() {
+        // The lookup is injected, so nothing touches the process-global
+        // environment (set_var would race with the parallel test harness).
+        let env = |name: &str| match name {
+            "IFENCE_INSTRS" => Some("123".to_string()),
+            "IFENCE_SEED" => Some("garbage".to_string()),
+            _ => None,
+        };
+        let p = ExperimentParams::from_env_with(&env);
         assert_eq!(p.instructions_per_core, 123);
         assert_eq!(p.seed, ExperimentParams::default().seed);
-        std::env::remove_var("IFENCE_INSTRS");
-        std::env::remove_var("IFENCE_SEED");
+        assert!(!p.dense_kernel);
+    }
+
+    #[test]
+    fn env_lookup_covers_jobs_and_dense_flags() {
+        let env = |name: &str| match name {
+            "IFENCE_JOBS" => Some("3".to_string()),
+            "IFENCE_DENSE" => Some("yes".to_string()),
+            _ => None,
+        };
+        let p = ExperimentParams::from_env_with(&env);
+        assert_eq!(p.parallelism, 3);
+        assert!(p.dense_kernel);
+        let unset = ExperimentParams::from_env_with(&|_| None);
+        assert_eq!(unset, ExperimentParams::default());
+    }
+
+    #[test]
+    fn unparseable_dense_flag_falls_back() {
+        let env = |name: &str| (name == "IFENCE_DENSE").then(|| "maybe".to_string());
+        assert!(!ExperimentParams::from_env_with(&env).dense_kernel);
     }
 
     #[test]

@@ -20,13 +20,13 @@
 //! use ifence_sim::sweep::ExperimentMatrix;
 //! use ifence_sim::ExperimentParams;
 //! use ifence_types::{ConsistencyModel, EngineKind};
-//! use ifence_workloads::WorkloadSpec;
+//! use ifence_workloads::{Workload, WorkloadSpec};
 //!
 //! let engines = [
 //!     EngineKind::Conventional(ConsistencyModel::Rmo),
 //!     EngineKind::InvisiSelective(ConsistencyModel::Rmo),
 //! ];
-//! let workloads = [WorkloadSpec::uniform("demo")];
+//! let workloads = [Workload::from(WorkloadSpec::uniform("demo"))];
 //! let mut params = ExperimentParams::quick_test();
 //! params.instructions_per_core = 400;
 //! let grid = ExperimentMatrix::new(&engines, &workloads).run(&params);
@@ -40,7 +40,7 @@ use std::sync::Mutex;
 use crate::runner::{run_experiment, ExperimentParams};
 use ifence_stats::RunSummary;
 use ifence_types::EngineKind;
-use ifence_workloads::WorkloadSpec;
+use ifence_workloads::Workload;
 
 /// Applies `f` to every item with up to `jobs` worker threads and returns the
 /// results **in input order**, regardless of how the items were scheduled.
@@ -95,12 +95,13 @@ where
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentMatrix<'a> {
     engines: &'a [EngineKind],
-    workloads: &'a [WorkloadSpec],
+    workloads: &'a [Workload],
 }
 
 impl<'a> ExperimentMatrix<'a> {
-    /// A matrix running each of `engines` on each of `workloads`.
-    pub fn new(engines: &'a [EngineKind], workloads: &'a [WorkloadSpec]) -> Self {
+    /// A matrix running each of `engines` on each of `workloads` (steady
+    /// presets and phased scenarios alike — every cell streams its traces).
+    pub fn new(engines: &'a [EngineKind], workloads: &'a [Workload]) -> Self {
         ExperimentMatrix { engines, workloads }
     }
 
@@ -126,7 +127,7 @@ impl<'a> ExperimentMatrix<'a> {
         let mut rows: Vec<(String, Vec<RunSummary>)> = self
             .workloads
             .iter()
-            .map(|w| (w.name.clone(), Vec::with_capacity(self.engines.len())))
+            .map(|w| (w.name().to_string(), Vec::with_capacity(self.engines.len())))
             .collect();
         for ((w, _), summary) in cells.into_iter().zip(summaries) {
             rows[w].1.push(summary);
@@ -172,7 +173,7 @@ mod tests {
             EngineKind::Conventional(ConsistencyModel::Rmo),
             EngineKind::InvisiSelective(ConsistencyModel::Rmo),
         ];
-        let workloads = [presets::barnes(), presets::ocean()];
+        let workloads = [presets::barnes().into(), presets::ocean().into()];
         let matrix = ExperimentMatrix::new(&engines, &workloads);
         assert_eq!(matrix.len(), 4);
         assert!(!matrix.is_empty());
@@ -196,7 +197,7 @@ mod tests {
             EngineKind::Conventional(ConsistencyModel::Rmo),
             EngineKind::InvisiSelective(ConsistencyModel::Rmo),
         ];
-        let workloads = [presets::barnes(), presets::apache()];
+        let workloads = [presets::barnes().into(), Workload::from(presets::server_swings())];
         let matrix = ExperimentMatrix::new(&engines, &workloads);
         let serial = matrix.run(&quick(1));
         for jobs in [2, 8] {

@@ -1,8 +1,24 @@
-//! Expansion of a [`WorkloadSpec`] into deterministic per-core traces.
+//! Streaming expansion of workload specs into deterministic per-core traces.
+//!
+//! Generation is *lazy*: a [`GeneratorSource`] implements
+//! [`InstructionSource`] and emits instructions structure by structure
+//! (critical section, store burst, single instruction) as the core fetches
+//! them, holding only the replay window `[release frontier, generation
+//! frontier)` in a ring buffer. Memory is O(window) regardless of trace
+//! length — the replayable state is just the window plus the `TraceRng`
+//! state at the generation frontier, the same move miden-vm's
+//! `CoreTraceState` makes for its trace windows — and generation overlaps
+//! simulation instead of being serial dead time before the machine starts.
+//!
+//! [`WorkloadSpec::generate`] (the materialized path litmus and unit tests
+//! compare against) drains a fresh source to completion, so the streaming
+//! and materialized traces are byte-identical by construction; the
+//! machine-level equivalence is held by `tests/source_equivalence.rs`.
 
 use crate::rng::TraceRng;
 use crate::spec::WorkloadSpec;
-use ifence_types::{Addr, Instruction, Program};
+use ifence_types::{Addr, Instruction, InstructionSource, Program};
+use std::collections::VecDeque;
 
 const BLOCK: u64 = 64;
 /// Base of the lock region (shared by all cores, one lock per block).
@@ -92,13 +108,13 @@ fn emit_critical_section(
     spec: &WorkloadSpec,
     core: usize,
     rng: &mut TraceRng,
-    program: &mut Program,
+    out: &mut VecDeque<Instruction>,
 ) {
     let lock_index = rng.range_usize(0..spec.locks) as u64;
     let lock = Addr::new(LOCK_BASE + lock_index * BLOCK);
     // Acquire: atomic read-modify-write on the lock, ordered by a fence.
-    program.push(Instruction::atomic(lock, core as u64 + 1));
-    program.push(Instruction::fence());
+    out.push_back(Instruction::atomic(lock, core as u64 + 1));
+    out.push_back(Instruction::fence());
     // Critical-section body: accesses to the data protected by this lock
     // (a small, lock-specific slice of the shared region — migratory data
     // that only conflicts when two cores contend the same lock), interleaved
@@ -112,17 +128,17 @@ fn emit_critical_section(
             let block = (base_block + rng.range_u64(0..slice_blocks)) % spec.shared_blocks as u64;
             let addr = Addr::new(SHARED_BASE + block * BLOCK + rng.range_u64(0..8u64) * 8);
             if rng.bool(spec.store_fraction) {
-                program.push(Instruction::store(addr, rng.next_u32() as u64));
+                out.push_back(Instruction::store(addr, rng.next_u32() as u64));
             } else {
-                program.push(Instruction::load(addr));
+                out.push_back(Instruction::load(addr));
             }
         } else {
-            program.push(Instruction::op(rng.range_inclusive_usize(1, 2) as u8));
+            out.push_back(Instruction::op(rng.range_inclusive_usize(1, 2) as u8));
         }
     }
     // Release: ordinary store of zero to the lock, ordered by a fence.
-    program.push(Instruction::fence());
-    program.push(Instruction::store(lock, 0));
+    out.push_back(Instruction::fence());
+    out.push_back(Instruction::store(lock, 0));
 }
 
 fn emit_store_burst(
@@ -130,48 +146,217 @@ fn emit_store_burst(
     core: usize,
     cores: usize,
     rng: &mut TraceRng,
-    program: &mut Program,
+    out: &mut VecDeque<Instruction>,
 ) {
     let start = data_addr(spec, core, cores, true, rng);
     for i in 0..spec.store_burst_len as u64 {
         let addr = start.offset(i * BLOCK);
-        program.push(Instruction::store(addr, rng.next_u32() as u64));
+        out.push_back(Instruction::store(addr, rng.next_u32() as u64));
     }
 }
 
-fn generate_core(
+/// Emits the next structure (critical section, store burst, fence, data op
+/// or ALU op) of `spec`'s statistical mix — one iteration of the trace
+/// grammar, at least one instruction.
+fn emit_structure(
     spec: &WorkloadSpec,
     core: usize,
     cores: usize,
+    rng: &mut TraceRng,
+    out: &mut VecDeque<Instruction>,
+) {
+    let roll = rng.f64();
+    if roll < spec.critical_section_rate {
+        emit_critical_section(spec, core, rng, out);
+    } else if roll < spec.critical_section_rate + spec.store_burst_rate {
+        emit_store_burst(spec, core, cores, rng, out);
+    } else if roll < spec.critical_section_rate + spec.store_burst_rate + spec.fence_rate {
+        out.push_back(Instruction::fence());
+    } else if roll
+        < spec.critical_section_rate + spec.store_burst_rate + spec.fence_rate + spec.mem_fraction
+    {
+        out.push_back(data_op(spec, core, cores, rng));
+    } else {
+        out.push_back(Instruction::op(rng.range_inclusive_usize(1, 3) as u8));
+    }
+}
+
+/// One phase of a generation plan: emit structures drawn from `spec` while
+/// the trace index lies within the phase's slice of the phase cycle.
+#[derive(Debug, Clone, PartialEq)]
+struct PlanPhase {
+    spec: WorkloadSpec,
     instructions: usize,
-    seed: u64,
-) -> Program {
-    let mut rng = TraceRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut program = Program::new();
-    while program.len() < instructions {
-        let roll = rng.f64();
-        if roll < spec.critical_section_rate {
-            emit_critical_section(spec, core, &mut rng, &mut program);
-        } else if roll < spec.critical_section_rate + spec.store_burst_rate {
-            emit_store_burst(spec, core, cores, &mut rng, &mut program);
-        } else if roll < spec.critical_section_rate + spec.store_burst_rate + spec.fence_rate {
-            program.push(Instruction::fence());
-        } else if roll
-            < spec.critical_section_rate
-                + spec.store_burst_rate
-                + spec.fence_rate
-                + spec.mem_fraction
-        {
-            program.push(data_op(spec, core, cores, &mut rng));
-        } else {
-            program.push(Instruction::op(rng.range_inclusive_usize(1, 3) as u8));
+}
+
+/// A lazily generated per-core trace serving the
+/// [`InstructionSource`] replay-window contract.
+///
+/// The source owns the generation plan (one spec, or a cycle of phased
+/// specs), the `TraceRng` positioned at the generation frontier, and a ring
+/// buffer holding exactly the window `[base, generated)`. `fetch` past the
+/// frontier pumps the generator; `release` drops the prefix the core can
+/// never revisit. Trace-length overshoot matches the materialized path: the
+/// final structure in flight when the target is reached is finished, never
+/// truncated.
+#[derive(Debug, Clone)]
+pub struct GeneratorSource {
+    phases: Vec<PlanPhase>,
+    /// Sum of the phase lengths (the phase pattern repeats every this many
+    /// instructions); equals `usize::MAX` for a steady single phase so the
+    /// modulo never wraps.
+    cycle_len: usize,
+    core: usize,
+    cores: usize,
+    target: usize,
+    rng: TraceRng,
+    /// Program index of `buf[0]` — the release frontier.
+    base: usize,
+    /// The replay window: instructions `[base, generated)`.
+    buf: VecDeque<Instruction>,
+    /// Generation frontier: total instructions emitted so far.
+    generated: usize,
+    done: bool,
+}
+
+impl GeneratorSource {
+    /// A source generating `instructions` (a lower bound — the final
+    /// structure is finished) from a single spec, exactly as
+    /// [`WorkloadSpec::generate`] materializes.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn steady(
+        spec: WorkloadSpec,
+        core: usize,
+        cores: usize,
+        instructions: usize,
+        seed: u64,
+    ) -> Self {
+        spec.validate().expect("workload spec must be valid");
+        Self::from_phases(
+            vec![PlanPhase { spec, instructions: usize::MAX }],
+            core,
+            cores,
+            instructions,
+            seed,
+        )
+    }
+
+    /// A source cycling through `(spec, phase length)` pairs: the active
+    /// spec switches whenever the trace index crosses a phase boundary
+    /// (structures straddling a boundary belong to the phase they started
+    /// in). This is the shape a pregenerated `Vec` cannot express at scale:
+    /// the workload's character changes mid-run, modeled on server load
+    /// swings.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty, any phase length is zero, or any spec
+    /// fails [`WorkloadSpec::validate`].
+    pub fn phased(
+        phases: Vec<(WorkloadSpec, usize)>,
+        core: usize,
+        cores: usize,
+        instructions: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!phases.is_empty(), "a phased source needs at least one phase");
+        for (spec, len) in &phases {
+            spec.validate().expect("workload spec must be valid");
+            assert!(*len > 0, "phase lengths must be non-zero");
+        }
+        let phases = phases
+            .into_iter()
+            .map(|(spec, instructions)| PlanPhase { spec, instructions })
+            .collect();
+        Self::from_phases(phases, core, cores, instructions, seed)
+    }
+
+    fn from_phases(
+        phases: Vec<PlanPhase>,
+        core: usize,
+        cores: usize,
+        instructions: usize,
+        seed: u64,
+    ) -> Self {
+        let cycle_len = phases.iter().fold(0usize, |acc, p| acc.saturating_add(p.instructions));
+        GeneratorSource {
+            phases,
+            cycle_len,
+            core,
+            cores,
+            target: instructions,
+            rng: TraceRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            base: 0,
+            buf: VecDeque::new(),
+            generated: 0,
+            done: false,
         }
     }
-    program
+
+    /// Index into `phases` of the phase covering the generation frontier.
+    fn active_phase(&self) -> usize {
+        let mut pos = self.generated % self.cycle_len;
+        for (i, phase) in self.phases.iter().enumerate() {
+            if pos < phase.instructions {
+                return i;
+            }
+            pos -= phase.instructions;
+        }
+        unreachable!("pos is bounded by the sum of phase lengths");
+    }
+
+    /// Generates one more structure, or marks the trace done once the target
+    /// is reached (checked at structure boundaries, like the materialized
+    /// path).
+    fn pump(&mut self) {
+        if self.generated >= self.target {
+            self.done = true;
+            return;
+        }
+        let phase = self.active_phase();
+        let before = self.buf.len();
+        let GeneratorSource { phases, core, cores, rng, buf, .. } = self;
+        emit_structure(&phases[phase].spec, *core, *cores, rng, buf);
+        self.generated += self.buf.len() - before;
+    }
+}
+
+impl InstructionSource for GeneratorSource {
+    fn fetch(&mut self, index: usize) -> Option<Instruction> {
+        assert!(
+            index >= self.base,
+            "fetch({index}) is behind the released window base {} — the replay-window \
+             contract was violated",
+            self.base
+        );
+        while !self.done && index >= self.generated {
+            self.pump();
+        }
+        self.buf.get(index - self.base).copied()
+    }
+
+    fn release(&mut self, frontier: usize) {
+        let frontier = frontier.min(self.generated);
+        while self.base < frontier {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+
+    fn end(&self) -> Option<usize> {
+        self.done.then_some(self.generated)
+    }
+
+    fn resident(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 impl WorkloadSpec {
-    /// Generates one deterministic trace per core.
+    /// Generates one deterministic, fully materialized trace per core by
+    /// draining a streaming [`GeneratorSource`] — so the materialized and
+    /// streaming paths are byte-identical by construction.
     ///
     /// `instructions_per_core` is a lower bound: the trace finishes the
     /// structure (critical section, burst) it was emitting when the bound was
@@ -180,11 +365,26 @@ impl WorkloadSpec {
     /// # Panics
     /// Panics if the spec fails [`WorkloadSpec::validate`].
     pub fn generate(&self, cores: usize, instructions_per_core: usize, seed: u64) -> Vec<Program> {
-        self.validate().expect("workload spec must be valid");
         (0..cores)
-            .map(|core| generate_core(self, core, cores, instructions_per_core, seed))
+            .map(|core| {
+                let source =
+                    GeneratorSource::steady(self.clone(), core, cores, instructions_per_core, seed);
+                drain(source)
+            })
             .collect()
     }
+}
+
+/// Drains a source into a materialized [`Program`] (the reference path the
+/// equivalence tests compare streaming execution against).
+pub fn drain(mut source: impl InstructionSource) -> Program {
+    let mut program = Program::new();
+    let mut index = 0;
+    while let Some(instr) = source.fetch(index) {
+        program.push(instr);
+        index += 1;
+    }
+    program
 }
 
 #[cfg(test)]
@@ -283,5 +483,108 @@ mod tests {
             .count() as f64;
         let total = p.memory_op_count() as f64;
         assert!((shared / total - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_trace() {
+        let s = spec();
+        let materialized = &s.generate(2, 3_000, 17)[1];
+        let mut source = GeneratorSource::steady(s, 1, 2, 3_000, 17);
+        for (i, instr) in materialized.iter().enumerate() {
+            assert_eq!(source.fetch(i), Some(*instr), "index {i} diverges");
+        }
+        assert_eq!(source.fetch(materialized.len()), None);
+        assert_eq!(source.end(), Some(materialized.len()));
+    }
+
+    #[test]
+    fn window_is_bounded_by_release_and_refetch_replays_identically() {
+        let s = spec();
+        let reference = &s.generate(1, 10_000, 23)[0];
+        let mut source = GeneratorSource::steady(s, 0, 1, 10_000, 23);
+        let window = 256usize;
+        let mut max_resident = 0;
+        for i in 0..reference.len() {
+            assert_eq!(source.fetch(i), reference.get(i).copied());
+            source.release(i.saturating_sub(window));
+            max_resident = max_resident.max(source.resident());
+            // Rollback inside the window: re-fetching a suffix returns the
+            // exact same instructions.
+            if i % 997 == 0 && i > window / 2 {
+                for j in i.saturating_sub(window / 2)..=i {
+                    assert_eq!(
+                        source.fetch(j),
+                        reference.get(j).copied(),
+                        "replay diverges at {j}"
+                    );
+                }
+            }
+        }
+        assert!(
+            max_resident <= window + 64,
+            "window stayed bounded (max resident {max_resident}, window {window})"
+        );
+        assert!(reference.len() >= 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the released window base")]
+    fn fetch_behind_the_window_panics() {
+        let mut source = GeneratorSource::steady(spec(), 0, 1, 1_000, 3);
+        for i in 0..100 {
+            source.fetch(i);
+        }
+        source.release(50);
+        source.fetch(10);
+    }
+
+    #[test]
+    fn phased_source_switches_specs_at_boundaries() {
+        // Phase A emits only ALU ops (mem_fraction 0, rates 0); phase B only
+        // memory ops. The trace must alternate in ~200-instruction stripes.
+        let mut alu = spec();
+        alu.mem_fraction = 0.0;
+        alu.critical_section_rate = 0.0;
+        alu.store_burst_rate = 0.0;
+        alu.fence_rate = 0.0;
+        let mut mem = spec();
+        mem.mem_fraction = 1.0;
+        mem.critical_section_rate = 0.0;
+        mem.store_burst_rate = 0.0;
+        mem.fence_rate = 0.0;
+        let source = GeneratorSource::phased(vec![(alu, 200), (mem, 200)], 0, 1, 1_000, 5);
+        let program = drain(source);
+        assert!(program.len() >= 1_000);
+        for (i, instr) in program.iter().enumerate() {
+            let in_mem_phase = (i / 200) % 2 == 1;
+            assert_eq!(
+                instr.kind.is_memory(),
+                in_mem_phase,
+                "index {i} should be in the {} phase",
+                if in_mem_phase { "memory" } else { "ALU" }
+            );
+        }
+    }
+
+    #[test]
+    fn phased_source_is_deterministic_and_distinct_from_steady() {
+        // Phase B has a genuinely different mix, so a regression that keeps
+        // generating from phase A's spec past the boundary is caught by the
+        // full-trace inequality below.
+        let mut other = spec();
+        other.mem_fraction = 0.9;
+        other.store_fraction = 0.8;
+        let phases = || vec![(spec(), 500), (other.clone(), 500)];
+        let a = drain(GeneratorSource::phased(phases(), 0, 2, 2_000, 9));
+        let b = drain(GeneratorSource::phased(phases(), 0, 2, 2_000, 9));
+        assert_eq!(a, b, "phased generation is deterministic");
+        let steady = drain(GeneratorSource::steady(spec(), 0, 2, 2_000, 9));
+        assert_eq!(a.as_slice()[..16], steady.as_slice()[..16], "first phase matches its spec");
+        assert_ne!(a, steady, "the second phase must diverge from the steady trace");
+        assert_ne!(
+            a.as_slice()[500..1_000],
+            steady.as_slice()[500..1_000],
+            "post-boundary instructions come from the other spec"
+        );
     }
 }

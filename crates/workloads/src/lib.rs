@@ -10,8 +10,14 @@
 //! The substitution is documented in `DESIGN.md`.
 //!
 //! * [`WorkloadSpec`] — the tunable statistical model of one workload.
+//! * [`Workload`] — the runnable abstraction: a steady spec or a
+//!   [`PhasedWorkload`] whose spec switches mid-run, expanded per core into
+//!   streaming [`GeneratorSource`]s (bounded replay window, O(window)
+//!   memory) or materialized `Vec<Program>` traces that are byte-identical
+//!   to the stream.
 //! * [`presets`] — one preset per paper workload (Apache, Zeus, OLTP-Oracle,
-//!   OLTP-DB2, DSS-DB2, Barnes, Ocean).
+//!   OLTP-DB2, DSS-DB2, Barnes, Ocean) plus the phased `ServerSwings`
+//!   scenario.
 //! * [`litmus`] — message-passing, store-buffering (Dekker), load-buffering
 //!   and IRIW litmus tests whose forbidden outcomes must never appear under
 //!   SC enforcement.
@@ -37,8 +43,11 @@ pub mod litmus;
 pub mod presets;
 pub mod rng;
 pub mod spec;
+pub mod workload;
 
+pub use generator::GeneratorSource;
 pub use litmus::{LitmusKind, LitmusTest};
-pub use presets::{all_presets, by_name};
+pub use presets::{all_presets, all_workloads, by_name, workload_by_name};
 pub use rng::TraceRng;
 pub use spec::WorkloadSpec;
+pub use workload::{PhasedWorkload, Workload, WorkloadPhase};

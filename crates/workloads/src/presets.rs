@@ -8,6 +8,7 @@
 //! (so RMO ≈ TSO for them and RMO incurs essentially no ordering stalls).
 
 use crate::spec::WorkloadSpec;
+use crate::workload::{PhasedWorkload, Workload, WorkloadPhase};
 
 /// Apache web server: 16 K connections, worker threading — lock-heavy with
 /// bursty stores and substantial sharing.
@@ -163,6 +164,49 @@ pub fn by_name(name: &str) -> Option<WorkloadSpec> {
     all_presets().into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
 }
 
+/// A phased workload modeled on server load swings: a lock-heavy burst phase
+/// (request storms synchronising through a small hot lock set) alternating
+/// with a compute-dominated phase (batch work over private data). The spec
+/// changes mid-run, which a pregenerated `Vec<Program>` cannot express at
+/// scale — it exists to exercise the streaming trace path.
+pub fn server_swings() -> PhasedWorkload {
+    let mut burst = apache();
+    burst.name = "ServerSwings/burst".to_string();
+    burst.description = "request storm: heavy fine-grained locking on a hot lock set".to_string();
+    burst.critical_section_rate = 0.015;
+    burst.locks = 96;
+    burst.shared_fraction = 0.45;
+    burst.store_burst_rate = 0.015;
+    let mut compute = ocean();
+    compute.name = "ServerSwings/compute".to_string();
+    compute.description = "batch phase: streaming private-data computation".to_string();
+    compute.critical_section_rate = 0.0002;
+    PhasedWorkload {
+        name: "ServerSwings".to_string(),
+        description: "Phased server load: lock-heavy request bursts alternating with \
+                      compute-dominated batch stretches"
+            .to_string(),
+        phases: vec![
+            WorkloadPhase { spec: burst, instructions: 5_000 },
+            WorkloadPhase { spec: compute, instructions: 5_000 },
+        ],
+    }
+}
+
+/// The full runnable suite: the seven Figure 7 presets plus the phased
+/// `ServerSwings` scenario, in figure order.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut workloads: Vec<Workload> = all_presets().into_iter().map(Workload::from).collect();
+    workloads.push(Workload::from(server_swings()));
+    workloads
+}
+
+/// Looks a runnable workload (preset or phased) up by its (case-insensitive)
+/// name.
+pub fn workload_by_name(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +232,29 @@ mod tests {
         assert_eq!(by_name("apache").unwrap().name, "Apache");
         assert_eq!(by_name("OLTP-DB2").unwrap().name, "OLTP-DB2");
         assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn runnable_suite_includes_the_phased_scenario() {
+        let workloads = all_workloads();
+        assert_eq!(workloads.len(), 8, "seven presets plus ServerSwings");
+        assert_eq!(workloads.last().unwrap().name(), "ServerSwings");
+        for w in &workloads {
+            w.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        }
+        assert_eq!(workload_by_name("serverswings").unwrap().name(), "ServerSwings");
+        assert_eq!(workload_by_name("barnes").unwrap().name(), "Barnes");
+        assert!(workload_by_name("doom").is_none());
+    }
+
+    #[test]
+    fn server_swings_phases_differ_in_locking_intensity() {
+        let phased = server_swings();
+        assert_eq!(phased.phases.len(), 2);
+        let burst = &phased.phases[0].spec;
+        let compute = &phased.phases[1].spec;
+        assert!(burst.critical_section_rate > 10.0 * compute.critical_section_rate);
+        assert!(burst.shared_fraction > compute.shared_fraction);
     }
 
     #[test]

@@ -16,7 +16,9 @@ fn main() {
         // Keep the default example run short; the bench harness uses more.
         params.instructions_per_core = 4_000;
     }
-    let workloads = presets::all_presets();
+    // The full runnable suite, including the phased ServerSwings scenario
+    // that only the streaming trace path can express.
+    let workloads = presets::all_workloads();
 
     println!("== Figure 1: ordering stalls in conventional implementations ==");
     let (_, table1) = figures::figure1(&workloads, &params);

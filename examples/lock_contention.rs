@@ -26,10 +26,11 @@ fn main() {
     ]);
 
     for (cs_rate, locks) in [(0.002, 1024), (0.006, 512), (0.012, 256), (0.024, 64)] {
-        let mut workload = WorkloadSpec::uniform("lock-sweep");
-        workload.critical_section_rate = cs_rate;
-        workload.locks = locks;
-        workload.shared_fraction = 0.3;
+        let mut spec = WorkloadSpec::uniform("lock-sweep");
+        spec.critical_section_rate = cs_rate;
+        spec.locks = locks;
+        spec.shared_fraction = 0.3;
+        let workload = Workload::from(spec);
 
         let rmo =
             run_experiment(EngineKind::Conventional(ConsistencyModel::Rmo), &workload, &params);

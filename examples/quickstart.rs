@@ -12,8 +12,8 @@ fn main() {
     // `ExperimentParams::from_env()` (IFENCE_INSTRS=...) for larger runs.
     let params = ExperimentParams { instructions_per_core: 5_000, ..Default::default() };
 
-    let workload = presets::apache();
-    println!("Workload: {} — {}", workload.name, workload.description);
+    let workload = Workload::from(presets::apache());
+    println!("Workload: {} — {}", workload.name(), workload.description());
     println!(
         "Machine:  {} cores, {}-entry ROB, {} KB L1, InvisiFence adds {} bytes of state\n",
         MachineConfig::paper_baseline().cores,

@@ -21,8 +21,9 @@
 //! use invisifence_repro::prelude::*;
 //!
 //! // Run a small workload under conventional RMO and under InvisiFence-RMO.
+//! // Traces stream through bounded replay windows; nothing is materialized.
 //! let params = ExperimentParams::quick_test();
-//! let workload = WorkloadSpec::uniform("demo");
+//! let workload = Workload::from(WorkloadSpec::uniform("demo"));
 //! let conventional =
 //!     run_experiment(EngineKind::Conventional(ConsistencyModel::Rmo), &workload, &params);
 //! let invisi =
@@ -48,10 +49,12 @@ pub mod prelude {
     pub use ifence_sim::{run_experiment, run_litmus, ExperimentParams, Machine};
     pub use ifence_stats::{ColumnTable, CycleBreakdown, RunSummary};
     pub use ifence_types::{
-        Addr, BlockAddr, ConsistencyModel, CoreId, CycleClass, EngineKind, Instruction,
-        MachineConfig, Program,
+        Addr, BlockAddr, BoxedSource, ConsistencyModel, CoreId, CycleClass, EmptySource,
+        EngineKind, Instruction, InstructionSource, MachineConfig, Program, ProgramSource,
     };
-    pub use ifence_workloads::{presets, LitmusTest, WorkloadSpec};
+    pub use ifence_workloads::{
+        presets, GeneratorSource, LitmusTest, PhasedWorkload, Workload, WorkloadPhase, WorkloadSpec,
+    };
     pub use invisifence::build_engine;
 }
 

@@ -22,6 +22,7 @@ fn engines() -> Vec<EngineKind> {
         EngineKind::Conventional(ConsistencyModel::Tso),
         EngineKind::Conventional(ConsistencyModel::Rmo),
         EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        EngineKind::InvisiSelective(ConsistencyModel::Tso),
         EngineKind::InvisiSelective(ConsistencyModel::Rmo),
         EngineKind::InvisiSelectiveTwoCkpt(ConsistencyModel::Sc),
         EngineKind::InvisiContinuous { commit_on_violate: false },

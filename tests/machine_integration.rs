@@ -31,16 +31,16 @@ fn every_engine_completes_every_preset_workload_sample() {
     // One (engine, workload) pair per workload keeps the runtime bounded while
     // still touching every preset and every engine over the suite.
     let params = quick();
-    let presets = presets::all_presets();
+    let workloads = presets::all_workloads();
     for (i, engine) in every_engine().into_iter().enumerate() {
-        let workload = &presets[i % presets.len()];
+        let workload = &workloads[i % workloads.len()];
         let summary = run_experiment(engine, workload, &params);
         assert!(summary.cycles > 0, "{}: no cycles simulated", engine.label());
         assert!(
             summary.counters.instructions_retired as usize >= params.instructions_per_core * 4,
             "{}: not all instructions retired on {}",
             engine.label(),
-            workload.name
+            workload.name()
         );
         // The five-way breakdown accounts for every attributed cycle.
         assert!(summary.breakdown.total() > 0);
@@ -50,7 +50,7 @@ fn every_engine_completes_every_preset_workload_sample() {
 #[test]
 fn conventional_ordering_stalls_shrink_as_the_model_weakens() {
     let params = quick();
-    let workload = presets::apache();
+    let workload = presets::apache().into();
     let sc = run_experiment(EngineKind::Conventional(ConsistencyModel::Sc), &workload, &params);
     let tso = run_experiment(EngineKind::Conventional(ConsistencyModel::Tso), &workload, &params);
     let rmo = run_experiment(EngineKind::Conventional(ConsistencyModel::Rmo), &workload, &params);
@@ -81,7 +81,7 @@ fn conventional_ordering_stalls_shrink_as_the_model_weakens() {
 #[test]
 fn invisifence_eliminates_store_buffer_stalls() {
     let params = quick();
-    let workload = presets::oltp_db2();
+    let workload = presets::oltp_db2().into();
     let rmo = run_experiment(EngineKind::Conventional(ConsistencyModel::Rmo), &workload, &params);
     let invisi =
         run_experiment(EngineKind::InvisiSelective(ConsistencyModel::Rmo), &workload, &params);
@@ -99,7 +99,7 @@ fn invisifence_eliminates_store_buffer_stalls() {
 #[test]
 fn continuous_mode_speculates_almost_always_and_selective_rmo_rarely() {
     let params = quick();
-    let workload = presets::barnes();
+    let workload = presets::barnes().into();
     let cont = run_experiment(
         EngineKind::InvisiContinuous { commit_on_violate: false },
         &workload,
@@ -123,7 +123,7 @@ fn continuous_mode_speculates_almost_always_and_selective_rmo_rarely() {
 fn commit_on_violate_reduces_violation_cycles_of_continuous_mode() {
     let mut params = quick();
     params.instructions_per_core = 1_500;
-    let workload = presets::zeus();
+    let workload = presets::zeus().into();
     let plain = run_experiment(
         EngineKind::InvisiContinuous { commit_on_violate: false },
         &workload,
@@ -147,7 +147,7 @@ fn commit_on_violate_reduces_violation_cycles_of_continuous_mode() {
 fn figure_drivers_produce_complete_tables_on_a_small_run() {
     let mut params = quick();
     params.instructions_per_core = 600;
-    let workloads = vec![presets::barnes(), presets::dss_db2()];
+    let workloads: Vec<Workload> = vec![presets::barnes().into(), presets::dss_db2().into()];
     let (data1, table1) = figures::figure1(&workloads, &params);
     assert_eq!(data1.per_workload.len(), 2);
     assert_eq!(table1.len(), 6);

@@ -1,0 +1,187 @@
+//! Streaming-vs-materialized trace equivalence: a machine fed by lazily
+//! generating, bounded-window [`InstructionSource`]s must produce a
+//! [`MachineResult`] byte-identical to one fed the same workload as fully
+//! materialized `Vec<Program>` traces — for every ordering engine, including
+//! the speculative ones whose rollbacks re-fetch inside the replay window.
+//!
+//! This is the safety net for the whole streaming trace layer: a window
+//! released too eagerly, a re-fetch that regenerates different instructions,
+//! or an end-of-trace discovered at the wrong cycle all show up here as a
+//! field-level mismatch. The memory side of the bargain — the streaming
+//! window stays O(ROB + speculation depth) while the materialized path holds
+//! the whole trace — is asserted directly on the machines' resident
+//! high-water marks.
+
+use ifence_sim::{Machine, MachineResult};
+use invisifence_repro::prelude::*;
+
+const MAX_CYCLES: u64 = 30_000_000;
+const INSTRUCTIONS: usize = 900;
+
+/// Every engine kind the acceptance criteria name, covering all three
+/// conventional models and every speculative policy.
+fn engines() -> Vec<EngineKind> {
+    vec![
+        EngineKind::Conventional(ConsistencyModel::Sc),
+        EngineKind::Conventional(ConsistencyModel::Tso),
+        EngineKind::Conventional(ConsistencyModel::Rmo),
+        EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        EngineKind::InvisiSelective(ConsistencyModel::Tso),
+        EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+        EngineKind::InvisiSelectiveTwoCkpt(ConsistencyModel::Sc),
+        EngineKind::InvisiContinuous { commit_on_violate: false },
+        EngineKind::InvisiContinuous { commit_on_violate: true },
+        EngineKind::Aso(ConsistencyModel::Sc),
+    ]
+}
+
+fn run_materialized(engine: EngineKind, workload: &Workload, instructions: usize) -> MachineResult {
+    let cfg = MachineConfig::small_test(engine);
+    let programs = workload.generate(cfg.cores, instructions, cfg.seed);
+    Machine::new(cfg, programs).expect("valid config").into_result(MAX_CYCLES)
+}
+
+fn run_streaming(engine: EngineKind, workload: &Workload, instructions: usize) -> MachineResult {
+    let cfg = MachineConfig::small_test(engine);
+    let sources = workload.sources(cfg.cores, instructions, cfg.seed);
+    Machine::from_sources(cfg, sources).expect("valid config").into_result(MAX_CYCLES)
+}
+
+fn assert_equivalent(engine: EngineKind, workload: &Workload) {
+    let materialized = run_materialized(engine, workload, INSTRUCTIONS);
+    let streaming = run_streaming(engine, workload, INSTRUCTIONS);
+    assert!(materialized.finished, "{} on {} did not finish", engine.label(), workload.name());
+    // Compare field by field first so a mismatch names the offending part…
+    assert_eq!(
+        materialized.cycles,
+        streaming.cycles,
+        "{} on {}: cycle counts diverge",
+        engine.label(),
+        workload.name()
+    );
+    for (core, (m, s)) in materialized.per_core.iter().zip(&streaming.per_core).enumerate() {
+        assert_eq!(
+            m.breakdown,
+            s.breakdown,
+            "{} on {}: core {core} breakdown diverges",
+            engine.label(),
+            workload.name()
+        );
+        assert_eq!(
+            m.counters,
+            s.counters,
+            "{} on {}: core {core} counters diverge",
+            engine.label(),
+            workload.name()
+        );
+    }
+    assert_eq!(
+        materialized.load_results,
+        streaming.load_results,
+        "{} on {}: retired-load values diverge",
+        engine.label(),
+        workload.name()
+    );
+    // …then require full structural equality (finished, deadlocked, label).
+    assert_eq!(
+        materialized,
+        streaming,
+        "{} on {}: results diverge",
+        engine.label(),
+        workload.name()
+    );
+}
+
+#[test]
+fn every_engine_is_equivalent_on_barnes() {
+    let workload = presets::barnes().into();
+    for engine in engines() {
+        assert_equivalent(engine, &workload);
+    }
+}
+
+#[test]
+fn every_engine_is_equivalent_on_apache() {
+    let workload = presets::apache().into();
+    for engine in engines() {
+        assert_equivalent(engine, &workload);
+    }
+}
+
+#[test]
+fn phased_workload_is_equivalent_across_paths() {
+    // The phased scenario switches specs mid-run — the case that exists only
+    // because of streaming. The materialized reference drains the same
+    // sources, so the two paths must still agree bit for bit.
+    let workload = Workload::from(presets::server_swings());
+    for engine in [
+        EngineKind::Conventional(ConsistencyModel::Sc),
+        EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+        EngineKind::InvisiContinuous { commit_on_violate: true },
+    ] {
+        assert_equivalent(engine, &workload);
+    }
+}
+
+#[test]
+fn streaming_window_stays_bounded_while_materialized_holds_the_trace() {
+    // A longer run on a speculative engine: rollbacks must replay from
+    // checkpoints, yet the resident window stays O(ROB + speculation depth)
+    // — nowhere near the trace length the materialized path holds.
+    let instructions = 20_000;
+    let workload: Workload = presets::apache().into();
+    let engine = EngineKind::InvisiSelective(ConsistencyModel::Sc);
+
+    let cfg = MachineConfig::small_test(engine);
+    let sources = workload.sources(cfg.cores, instructions, cfg.seed);
+    let mut streaming = Machine::from_sources(cfg, sources).expect("valid config");
+    let result = streaming.run(MAX_CYCLES);
+    assert!(result.finished);
+    let window = streaming.max_trace_resident();
+
+    let cfg = MachineConfig::small_test(engine);
+    let programs = workload.generate(cfg.cores, instructions, cfg.seed);
+    let mut materialized = Machine::new(cfg, programs).expect("valid config");
+    let reference = materialized.run(MAX_CYCLES);
+    assert_eq!(result, reference, "paths diverged on the long run");
+    assert!(
+        materialized.max_trace_resident() >= instructions,
+        "the materialized path holds the whole trace"
+    );
+    assert!(
+        window * 4 < instructions,
+        "streaming window ({window}) must be far below trace length ({instructions})"
+    );
+}
+
+#[test]
+fn rollback_refetch_inside_the_window_is_identical() {
+    // Drive a source the way a speculating core does: fetch ahead, release
+    // the safe frontier, then roll back and re-fetch a suffix. Every
+    // re-fetched instruction must equal the materialized reference.
+    let workload: Workload = presets::apache().into();
+    let reference = &workload.generate(2, 5_000, 42)[1];
+    let mut source = workload.source_for_core(1, 2, 5_000, 42);
+    let rob_depth = 96;
+    let mut fetched = 0usize;
+    while let Some(instr) = source.fetch(fetched) {
+        assert_eq!(Some(&instr), reference.get(fetched), "forward fetch diverges at {fetched}");
+        // Periodically simulate a violation rollback to a checkpoint one ROB
+        // depth back, re-fetching the window.
+        if fetched % 1_111 == 1_110 {
+            let resume_at = fetched.saturating_sub(rob_depth);
+            for i in resume_at..=fetched {
+                assert_eq!(
+                    source.fetch(i).as_ref(),
+                    reference.get(i),
+                    "rollback re-fetch diverges at {i}"
+                );
+            }
+        }
+        // The core never releases past its oldest possible rollback target.
+        source.release(fetched.saturating_sub(2 * rob_depth));
+        fetched += 1;
+    }
+    assert_eq!(fetched, reference.len(), "stream and materialized trace end together");
+    assert!(source.resident() <= 4 * rob_depth + 64, "window stayed bounded");
+}
