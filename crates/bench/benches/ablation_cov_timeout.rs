@@ -8,7 +8,11 @@ use ifence_workloads::presets;
 
 fn main() {
     let params = paper_params();
-    print_header("Ablation", "Commit-on-violate timeout sweep for InvisiFence-Continuous", &params);
+    let _run = print_header(
+        "Ablation",
+        "Commit-on-violate timeout sweep for InvisiFence-Continuous",
+        &params,
+    );
     let workload = presets::zeus();
     let mut table = ColumnTable::new([
         "CoV timeout (cycles)",

@@ -36,7 +36,7 @@ fn timed_run(
 
 fn main() {
     let params = paper_params();
-    print_header(
+    let _run = print_header(
         "Ablation",
         "simulation-kernel mode: dense polling vs event-driven cycle skipping",
         &params,

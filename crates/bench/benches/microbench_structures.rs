@@ -108,6 +108,11 @@ fn bench_directory() {
 }
 
 fn main() {
+    let _run = ifence_bench::BenchRun::start(
+        "microbench_structures",
+        "hardware-structure ns/iter sweeps",
+        &ifence_bench::paper_params(),
+    );
     println!("structure microbenchmarks ({MEASURE_ITERS} iterations each)");
     bench_spec_bits();
     bench_store_buffer();

@@ -258,6 +258,29 @@ impl EngineKind {
         }
     }
 
+    /// Parses a figure label back into an engine kind — the exact inverse
+    /// of [`EngineKind::label`] (the experiment store uses the label as its
+    /// serialized form, and the `ifence` CLI accepts labels in `--engines`).
+    pub fn from_label(label: &str) -> Option<Self> {
+        let model = |l: &str| ConsistencyModel::ALL.into_iter().find(|m| m.label() == l);
+        if let Some(m) = model(label) {
+            return Some(EngineKind::Conventional(m));
+        }
+        if label == "Invisi_cont" {
+            return Some(EngineKind::InvisiContinuous { commit_on_violate: false });
+        }
+        if label == "Invisi_cont_CoV" {
+            return Some(EngineKind::InvisiContinuous { commit_on_violate: true });
+        }
+        if let Some(rest) = label.strip_prefix("Invisi_") {
+            if let Some(m) = rest.strip_suffix("-2ckpt").and_then(model) {
+                return Some(EngineKind::InvisiSelectiveTwoCkpt(m));
+            }
+            return model(rest).map(EngineKind::InvisiSelective);
+        }
+        label.strip_prefix("ASO").and_then(model).map(EngineKind::Aso)
+    }
+
     /// The store-buffer configuration Figure 6 pairs with this engine:
     /// conventional SC/TSO use a 64-entry word-granularity FIFO, conventional
     /// RMO and single-checkpoint InvisiFence use an 8-entry coalescing buffer,
@@ -551,24 +574,105 @@ mod tests {
         cfg.validate().unwrap();
     }
 
+    /// Applies `break_it` to a paper baseline and asserts validation fails
+    /// with a message containing `expect` (every `validate` path emits a
+    /// distinct, greppable message).
+    fn assert_rejected(expect: &str, break_it: impl FnOnce(&mut MachineConfig)) {
+        let mut cfg = MachineConfig::paper_baseline();
+        break_it(&mut cfg);
+        let err = cfg.validate().expect_err(&format!("expected rejection: {expect}"));
+        let text = err.to_string();
+        assert!(text.contains(expect), "error {text:?} should mention {expect:?}");
+        assert!(
+            text.starts_with("invalid machine configuration: "),
+            "ConfigError Display carries the standard prefix: {text:?}"
+        );
+    }
+
     #[test]
-    fn invalid_configs_are_rejected() {
-        let mut cfg = MachineConfig::paper_baseline();
-        cfg.cores = 0;
-        assert!(cfg.validate().is_err());
+    fn every_validation_path_rejects_its_failure_mode() {
+        assert_rejected("core count must be non-zero", |cfg| cfg.cores = 0);
+        assert_rejected("power of two", |cfg| cfg.l1.block_bytes = 48);
+        assert_rejected("zero sets or ways", |cfg| cfg.l1.associativity = 0);
+        assert_rejected("zero sets or ways", |cfg| {
+            // Geometry whose implied set count is zero: a cache smaller than
+            // one (associativity × block) row.
+            cfg.l1.size_bytes = 64;
+            cfg.l1.associativity = 2;
+            cfg.l1.block_bytes = 64;
+        });
+        assert_rejected("does not match torus nodes", |cfg| cfg.cores = 15);
+        assert_rejected("store buffer must have at least one entry", |cfg| {
+            cfg.store_buffer.entries = 0;
+        });
+        assert_rejected("ROB size must be non-zero", |cfg| cfg.core.rob_size = 0);
+        assert_rejected("ROB size must be non-zero", |cfg| cfg.core.width = 0);
+    }
 
-        let mut cfg = MachineConfig::paper_baseline();
-        cfg.cores = 15;
-        assert!(cfg.validate().is_err());
+    #[test]
+    fn speculative_engines_require_checkpoints() {
+        let mut cfg = MachineConfig::with_engine(EngineKind::InvisiSelective(ConsistencyModel::Sc));
+        cfg.speculation.checkpoints = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("at least one checkpoint"), "{err}");
+        // Conventional engines do not need checkpoints at all.
+        let mut conventional = MachineConfig::paper_baseline();
+        conventional.speculation.checkpoints = 0;
+        conventional.validate().expect("non-speculative engines ignore checkpoints");
+    }
 
-        let mut cfg = MachineConfig::paper_baseline();
-        cfg.store_buffer.entries = 0;
-        assert!(cfg.validate().is_err());
+    #[test]
+    fn continuous_requires_two_checkpoints() {
+        for commit_on_violate in [false, true] {
+            let mut cfg =
+                MachineConfig::with_engine(EngineKind::InvisiContinuous { commit_on_violate });
+            cfg.speculation.checkpoints = 1;
+            let err = cfg.validate().unwrap_err();
+            assert!(err.to_string().contains("two checkpoints"), "{err}");
+        }
+    }
 
-        let mut cfg =
-            MachineConfig::with_engine(EngineKind::InvisiContinuous { commit_on_violate: false });
-        cfg.speculation.checkpoints = 1;
-        assert!(cfg.validate().is_err());
+    #[test]
+    fn config_errors_compare_and_clone() {
+        let mut a = MachineConfig::paper_baseline();
+        a.cores = 0;
+        let mut b = MachineConfig::paper_baseline();
+        b.cores = 0;
+        let (ea, eb) = (a.validate().unwrap_err(), b.validate().unwrap_err());
+        assert_eq!(ea, eb);
+        assert_eq!(ea.clone(), eb);
+    }
+
+    #[test]
+    fn engine_labels_roundtrip_through_from_label() {
+        use ConsistencyModel::*;
+        let engines = [
+            EngineKind::Conventional(Sc),
+            EngineKind::Conventional(Tso),
+            EngineKind::Conventional(Rmo),
+            EngineKind::InvisiSelective(Sc),
+            EngineKind::InvisiSelective(Tso),
+            EngineKind::InvisiSelective(Rmo),
+            EngineKind::InvisiSelectiveTwoCkpt(Sc),
+            EngineKind::InvisiSelectiveTwoCkpt(Tso),
+            EngineKind::InvisiSelectiveTwoCkpt(Rmo),
+            EngineKind::InvisiContinuous { commit_on_violate: false },
+            EngineKind::InvisiContinuous { commit_on_violate: true },
+            EngineKind::Aso(Sc),
+            EngineKind::Aso(Tso),
+            EngineKind::Aso(Rmo),
+        ];
+        for engine in engines {
+            assert_eq!(
+                EngineKind::from_label(&engine.label()),
+                Some(engine),
+                "label {:?} must parse back to its engine",
+                engine.label()
+            );
+        }
+        for bad in ["", "SC", "Invisi_", "Invisi_x", "Invisi_sc-3ckpt", "ASO", "ASOx", "warp"] {
+            assert_eq!(EngineKind::from_label(bad), None, "{bad:?} must not parse");
+        }
     }
 
     #[test]

@@ -8,10 +8,35 @@
 //! parameters and check the qualitative shape (who wins, what disappears).
 
 use crate::runner::ExperimentParams;
-use crate::sweep::ExperimentMatrix;
+use crate::sweep::{manifest_for_grid, ExperimentMatrix};
 use ifence_stats::{ColumnTable, RunSummary};
+use ifence_store::{CacheStats, ExperimentStore};
 use ifence_types::{ConsistencyModel, CycleClass, EngineKind};
 use ifence_workloads::Workload;
+
+/// How a figure run executes: the experiment parameters plus an optional
+/// experiment store. With a store, every cell is looked up before dispatch
+/// and written behind after completion, and the run leaves a named manifest
+/// (`sweeps/<figure-slug>.json`) behind for `ifence report` / `ifence diff`.
+#[derive(Clone, Copy)]
+pub struct FigureContext<'a> {
+    /// Experiment parameters shared by every cell.
+    pub params: &'a ExperimentParams,
+    /// The result cache, if the run should be cached and resumable.
+    pub store: Option<&'a ExperimentStore>,
+}
+
+impl<'a> FigureContext<'a> {
+    /// An uncached context (the behaviour of the pre-store figure drivers).
+    pub fn new(params: &'a ExperimentParams) -> Self {
+        FigureContext { params, store: None }
+    }
+
+    /// A cached context: cells are served from and persisted to `store`.
+    pub fn with_store(params: &'a ExperimentParams, store: &'a ExperimentStore) -> Self {
+        FigureContext { params, store: Some(store) }
+    }
+}
 
 /// The results of one figure: per-workload summaries for every configuration
 /// the figure compares, in figure order.
@@ -23,6 +48,9 @@ pub struct FigureData {
     pub configs: Vec<String>,
     /// `(workload, summaries)` where `summaries[i]` ran under `configs[i]`.
     pub per_workload: Vec<(String, Vec<RunSummary>)>,
+    /// How many cells were cache hits versus simulated (all misses when no
+    /// store was in play).
+    pub cache: CacheStats,
 }
 
 impl FigureData {
@@ -32,10 +60,27 @@ impl FigureData {
         workloads: &[Workload],
         params: &ExperimentParams,
     ) -> Self {
+        Self::run_in(figure, engines, workloads, &FigureContext::new(params))
+    }
+
+    fn run_in(
+        figure: &str,
+        engines: &[EngineKind],
+        workloads: &[Workload],
+        ctx: &FigureContext<'_>,
+    ) -> Self {
+        let sweep = ExperimentMatrix::new(engines, workloads).run_cached(ctx.params, ctx.store);
+        if let Some(store) = ctx.store {
+            let manifest = manifest_for_grid(figure, figure, engines, workloads, ctx.params);
+            if let Err(err) = store.write_manifest(&manifest) {
+                eprintln!("warning: could not write manifest for {figure}: {err}");
+            }
+        }
         FigureData {
             figure: figure.to_string(),
             configs: engines.iter().map(|e| e.label()).collect(),
-            per_workload: ExperimentMatrix::new(engines, workloads).run(params),
+            per_workload: sweep.rows,
+            cache: sweep.cache,
         }
     }
 
@@ -75,12 +120,18 @@ const SELECTIVE_ENGINES: [EngineKind; 6] = [
 /// Figure 1: ordering stalls (SB drain / SB full) in conventional SC, TSO and
 /// RMO, as a percentage of each configuration's execution time.
 pub fn figure1(workloads: &[Workload], params: &ExperimentParams) -> (FigureData, ColumnTable) {
+    figure1_in(workloads, &FigureContext::new(params))
+}
+
+/// [`figure1`] under an explicit [`FigureContext`] (cached when the context
+/// carries a store).
+pub fn figure1_in(workloads: &[Workload], ctx: &FigureContext<'_>) -> (FigureData, ColumnTable) {
     let engines = [
         EngineKind::Conventional(ConsistencyModel::Sc),
         EngineKind::Conventional(ConsistencyModel::Tso),
         EngineKind::Conventional(ConsistencyModel::Rmo),
     ];
-    let data = FigureData::run("Figure 1", &engines, workloads, params);
+    let data = FigureData::run_in("Figure 1", &engines, workloads, ctx);
     let mut table =
         ColumnTable::new(["workload", "model", "SB drain %", "SB full %", "total ordering %"]);
     for (workload, runs) in &data.per_workload {
@@ -103,6 +154,11 @@ pub fn figure1(workloads: &[Workload], params: &ExperimentParams) -> (FigureData
 /// InvisiFence-Selective variants of SC, TSO, RMO).
 pub fn selective_matrix(workloads: &[Workload], params: &ExperimentParams) -> FigureData {
     FigureData::run("Figures 8-10", &SELECTIVE_ENGINES, workloads, params)
+}
+
+/// [`selective_matrix`] under an explicit [`FigureContext`].
+pub fn selective_matrix_in(workloads: &[Workload], ctx: &FigureContext<'_>) -> FigureData {
+    FigureData::run_in("Figures 8-10", &SELECTIVE_ENGINES, workloads, ctx)
 }
 
 /// Figure 8: speedups over conventional SC.
@@ -174,12 +230,17 @@ pub fn figure10(data: &FigureData) -> ColumnTable {
 /// Figure 11: ASOsc versus InvisiFence-SC with one and two checkpoints,
 /// runtime normalised to ASOsc.
 pub fn figure11(workloads: &[Workload], params: &ExperimentParams) -> (FigureData, ColumnTable) {
+    figure11_in(workloads, &FigureContext::new(params))
+}
+
+/// [`figure11`] under an explicit [`FigureContext`].
+pub fn figure11_in(workloads: &[Workload], ctx: &FigureContext<'_>) -> (FigureData, ColumnTable) {
     let engines = [
         EngineKind::Aso(ConsistencyModel::Sc),
         EngineKind::InvisiSelective(ConsistencyModel::Sc),
         EngineKind::InvisiSelectiveTwoCkpt(ConsistencyModel::Sc),
     ];
-    let data = FigureData::run("Figure 11", &engines, workloads, params);
+    let data = FigureData::run_in("Figure 11", &engines, workloads, ctx);
     let mut table = ColumnTable::new(["workload", "config", "runtime % of ASOsc", "Violation %"]);
     for (workload, runs) in &data.per_workload {
         let baseline = &runs[0];
@@ -199,6 +260,11 @@ pub fn figure11(workloads: &[Workload], params: &ExperimentParams) -> (FigureDat
 /// Figure 12: conventional SC and RMO versus InvisiFence-Continuous (with and
 /// without commit-on-violate) and InvisiFence-RMO, normalised to SC.
 pub fn figure12(workloads: &[Workload], params: &ExperimentParams) -> (FigureData, ColumnTable) {
+    figure12_in(workloads, &FigureContext::new(params))
+}
+
+/// [`figure12`] under an explicit [`FigureContext`].
+pub fn figure12_in(workloads: &[Workload], ctx: &FigureContext<'_>) -> (FigureData, ColumnTable) {
     let engines = [
         EngineKind::Conventional(ConsistencyModel::Sc),
         EngineKind::InvisiContinuous { commit_on_violate: false },
@@ -206,7 +272,7 @@ pub fn figure12(workloads: &[Workload], params: &ExperimentParams) -> (FigureDat
         EngineKind::InvisiContinuous { commit_on_violate: true },
         EngineKind::InvisiSelective(ConsistencyModel::Rmo),
     ];
-    let data = FigureData::run("Figure 12", &engines, workloads, params);
+    let data = FigureData::run_in("Figure 12", &engines, workloads, ctx);
     let mut table =
         ColumnTable::new(["workload", "config", "runtime % of sc", "Violation %", "SB drain %"]);
     for (workload, runs) in &data.per_workload {
@@ -223,6 +289,36 @@ pub fn figure12(workloads: &[Workload], params: &ExperimentParams) -> (FigureDat
         }
     }
     (data, table)
+}
+
+/// The whole figure suite in one call: every driver this module implements,
+/// run under one context, returning `(section title, table)` pairs plus the
+/// aggregate cache counters. This is what `ifence figures` and the cache-warm
+/// CI smoke execute — with a store, an interrupted suite resumes and a warm
+/// re-run performs zero simulations.
+pub fn run_all_figures(
+    workloads: &[Workload],
+    ctx: &FigureContext<'_>,
+) -> (Vec<(String, ColumnTable)>, CacheStats) {
+    let mut cache = CacheStats::default();
+    let mut sections = Vec::new();
+    let (data1, table1) = figure1_in(workloads, ctx);
+    cache.merge(data1.cache);
+    sections
+        .push(("Figure 1: ordering stalls in conventional implementations".to_string(), table1));
+    let selective = selective_matrix_in(workloads, ctx);
+    cache.merge(selective.cache);
+    sections.push(("Figure 8: speedup over conventional SC".to_string(), figure8(&selective)));
+    sections
+        .push(("Figure 9: runtime breakdown (normalised to SC)".to_string(), figure9(&selective)));
+    sections.push(("Figure 10: % of cycles spent speculating".to_string(), figure10(&selective)));
+    let (data11, table11) = figure11_in(workloads, ctx);
+    cache.merge(data11.cache);
+    sections.push(("Figure 11: comparison with ASO".to_string(), table11));
+    let (data12, table12) = figure12_in(workloads, ctx);
+    cache.merge(data12.cache);
+    sections.push(("Figure 12: continuous speculation and commit-on-violate".to_string(), table12));
+    (sections, cache)
 }
 
 #[cfg(test)]
@@ -286,6 +382,47 @@ mod tests {
         let fig8_serial = figure8(&selective_matrix(&workloads, &serial)).to_string();
         let fig8_parallel = figure8(&selective_matrix(&workloads, &parallel)).to_string();
         assert_eq!(fig8_serial, fig8_parallel);
+    }
+
+    #[test]
+    fn cached_figure_run_leaves_a_manifest_and_warms_to_pure_hits() {
+        let root =
+            std::env::temp_dir().join(format!("ifence-figures-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ifence_store::ExperimentStore::open(&root).unwrap();
+        let workloads = one_workload();
+        let params = quick();
+        let ctx = FigureContext::with_store(&params, &store);
+
+        let (cold, cold_table) = figure1_in(&workloads, &ctx);
+        assert_eq!(cold.cache.misses, 3);
+        assert_eq!(cold.cache.hits, 0);
+        let (warm, warm_table) = figure1_in(&workloads, &ctx);
+        assert!(warm.cache.all_hits(), "warm re-run must be pure hits: {:?}", warm.cache);
+        assert_eq!(warm_table.to_string(), cold_table.to_string());
+
+        // The run left a resolvable manifest behind.
+        let manifest = store.read_manifest("Figure 1").unwrap().expect("manifest written");
+        assert_eq!(manifest.configs, vec!["sc", "tso", "rmo"]);
+        let rows = store.resolve(&manifest).unwrap();
+        assert_eq!(rows, warm.per_workload);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn uncached_run_reports_all_misses() {
+        let (data, _) = figure1(&one_workload(), &quick());
+        assert_eq!(data.cache.hits, 0);
+        assert_eq!(data.cache.misses, 3, "uncached cells count as misses");
+    }
+
+    #[test]
+    fn run_all_figures_covers_every_section() {
+        let (sections, cache) = run_all_figures(&one_workload(), &FigureContext::new(&quick()));
+        assert_eq!(sections.len(), 6);
+        assert!(sections.iter().all(|(_, table)| !table.is_empty()));
+        // 3 (fig1) + 6 (fig8-10) + 3 (fig11) + 5 (fig12) cells, one workload.
+        assert_eq!(cache.total(), 17);
     }
 
     #[test]

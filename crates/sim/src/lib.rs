@@ -28,6 +28,12 @@
 //! * [`figures`] — the per-figure experiment drivers that regenerate every
 //!   result figure of the paper (Figures 1, 8, 9, 10, 11, 12) as data plus a
 //!   printable table, all routed through the sweep engine.
+//! * **Result caching** — [`sweep::ExperimentMatrix::run_cached`] and the
+//!   [`figures::FigureContext`] thread an [`ifence_store::ExperimentStore`]
+//!   through the sweep: cells are looked up before dispatch and persisted
+//!   the moment they complete, so interrupted sweeps resume where they
+//!   stopped and warm re-runs perform zero simulations. [`persist`] adds the
+//!   full-[`MachineResult`] JSON codec.
 //!
 //! # Example
 //!
@@ -49,9 +55,10 @@
 
 pub mod figures;
 pub mod machine;
+pub mod persist;
 pub mod runner;
 pub mod sweep;
 
 pub use machine::{Machine, MachineResult};
 pub use runner::{available_jobs, run_experiment, run_litmus, ExperimentParams};
-pub use sweep::{parallel_map, ExperimentMatrix};
+pub use sweep::{cell_key, manifest_for_grid, parallel_map, ExperimentMatrix, SweepRun};

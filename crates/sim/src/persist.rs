@@ -1,0 +1,151 @@
+//! JSON persistence for full simulation results.
+//!
+//! [`MachineResult`] lives in this crate while the codec machinery lives in
+//! `ifence_store` (which must not depend on the simulator), so the impl sits
+//! here. Summaries ([`ifence_stats::RunSummary`]) are what the result cache
+//! stores per cell; the full-result codec exists for tooling that wants the
+//! complete record — per-core statistics, litmus load observations, deadlock
+//! diagnostics — such as archiving a litmus run or a deadlock repro.
+
+use crate::machine::MachineResult;
+use ifence_stats::CoreStats;
+use ifence_store::{CodecError, Json, JsonCodec};
+
+impl JsonCodec for MachineResult {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("cycles".to_string(), Json::UInt(self.cycles)),
+            ("finished".to_string(), Json::Bool(self.finished)),
+            ("deadlocked".to_string(), Json::Bool(self.deadlocked)),
+            (
+                "deadlock_diagnostic".to_string(),
+                match &self.deadlock_diagnostic {
+                    Some(text) => Json::Str(text.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("per_core".to_string(), self.per_core.to_json()),
+            (
+                "load_results".to_string(),
+                Json::Array(
+                    self.load_results
+                        .iter()
+                        .map(|core| {
+                            Json::Array(
+                                core.iter()
+                                    .map(|(index, value)| {
+                                        Json::Array(vec![
+                                            Json::UInt(*index as u64),
+                                            Json::UInt(*value),
+                                        ])
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("config_label".to_string(), Json::Str(self.config_label.clone())),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, CodecError> {
+        let err = |m: String| CodecError::new("MachineResult", m);
+        let get =
+            |name: &str| doc.field(name).ok_or_else(|| err(format!("missing field {name:?}")));
+        let bool_field = |name: &str| match get(name)? {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(err(format!("field {name:?} is not a bool"))),
+        };
+        let load_results = match get("load_results")? {
+            Json::Array(cores) => cores
+                .iter()
+                .map(|core| match core {
+                    Json::Array(pairs) => pairs
+                        .iter()
+                        .map(|pair| match pair {
+                            Json::Array(items) => match items.as_slice() {
+                                [index, value] => {
+                                    let index = index
+                                        .as_u64()
+                                        .ok_or_else(|| err("load index is not a u64".into()))?;
+                                    let value = value
+                                        .as_u64()
+                                        .ok_or_else(|| err("load value is not a u64".into()))?;
+                                    Ok((index as usize, value))
+                                }
+                                _ => Err(err("load observation is not a pair".into())),
+                            },
+                            _ => Err(err("load observation is not an array".into())),
+                        })
+                        .collect::<Result<Vec<_>, _>>(),
+                    _ => Err(err("per-core load results are not an array".into())),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(err("load_results is not an array".into())),
+        };
+        Ok(MachineResult {
+            cycles: get("cycles")?.as_u64().ok_or_else(|| err("cycles is not a u64".into()))?,
+            finished: bool_field("finished")?,
+            deadlocked: bool_field("deadlocked")?,
+            deadlock_diagnostic: match get("deadlock_diagnostic")? {
+                Json::Null => None,
+                Json::Str(s) => Some(s.clone()),
+                _ => return Err(err("deadlock_diagnostic is not a string or null".into())),
+            },
+            per_core: Vec::<CoreStats>::from_json(get("per_core")?)?,
+            load_results,
+            config_label: match get("config_label")? {
+                Json::Str(s) => s.clone(),
+                _ => return Err(err("config_label is not a string".into())),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentParams;
+    use crate::Machine;
+    use ifence_types::{ConsistencyModel, EngineKind, MachineConfig};
+    use ifence_workloads::Workload;
+
+    fn real_result() -> MachineResult {
+        let params = ExperimentParams::quick_test();
+        let engine = EngineKind::InvisiSelective(ConsistencyModel::Tso);
+        let cfg = {
+            let mut cfg = MachineConfig::small_test(engine);
+            cfg.seed = params.seed;
+            cfg
+        };
+        let workload = Workload::from(ifence_workloads::presets::barnes());
+        let sources = workload.sources(cfg.cores, 600, params.seed);
+        Machine::from_sources(cfg, sources).unwrap().into_result(params.max_cycles)
+    }
+
+    #[test]
+    fn machine_result_roundtrips_byte_identically() {
+        let result = real_result();
+        let text = result.to_json().encode();
+        let back = MachineResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, result);
+        assert_eq!(back.to_json().encode(), text);
+    }
+
+    #[test]
+    fn deadlock_diagnostic_survives_as_null_or_text() {
+        let mut result = real_result();
+        result.deadlocked = true;
+        result.deadlock_diagnostic = Some("core 0: wedged\ncore 1: asleep".to_string());
+        let text = result.to_json().encode();
+        let back = MachineResult::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, result);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_results() {
+        assert!(MachineResult::from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(MachineResult::from_json(&Json::parse("[1,2]").unwrap()).is_err());
+    }
+}

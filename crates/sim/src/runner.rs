@@ -131,7 +131,11 @@ impl ExperimentParams {
         self.parallelism.max(1)
     }
 
-    fn config_for(&self, engine: EngineKind) -> MachineConfig {
+    /// The complete machine configuration one cell of an experiment runs
+    /// under — also the basis of the experiment store's cache key, which is
+    /// why it is public: key derivation and machine construction must agree
+    /// on every derived field (store buffer, speculation policy, seed).
+    pub fn config_for(&self, engine: EngineKind) -> MachineConfig {
         let mut cfg = if self.full_machine {
             MachineConfig::with_engine(engine)
         } else {

@@ -39,6 +39,7 @@ use std::sync::Mutex;
 
 use crate::runner::{run_experiment, ExperimentParams};
 use ifence_stats::RunSummary;
+use ifence_store::{CacheStats, CellKey, ExperimentStore, ManifestRow, SweepManifest};
 use ifence_types::EngineKind;
 use ifence_workloads::Workload;
 
@@ -85,6 +86,57 @@ where
         .collect()
 }
 
+/// The content-addressed store key for one `(engine × workload)` cell at the
+/// given parameters — the single place key derivation happens, so lookups
+/// before dispatch and write-behinds after completion can never disagree.
+pub fn cell_key(engine: EngineKind, workload: &Workload, params: &ExperimentParams) -> CellKey {
+    CellKey::new(
+        &params.config_for(engine),
+        workload,
+        params.instructions_per_core,
+        params.max_cycles,
+    )
+}
+
+/// The store manifest describing an `(engines × workloads)` grid at the
+/// given parameters — the single place manifest rows and their cell hashes
+/// are derived (shared by the figure drivers and the `ifence sweep` CLI, so
+/// the two can never drift apart in how they address cells).
+pub fn manifest_for_grid(
+    name: &str,
+    figure: &str,
+    engines: &[EngineKind],
+    workloads: &[Workload],
+    params: &ExperimentParams,
+) -> SweepManifest {
+    SweepManifest {
+        name: ifence_store::slug(name),
+        figure: figure.to_string(),
+        configs: engines.iter().map(|e| e.label()).collect(),
+        instructions_per_core: params.instructions_per_core as u64,
+        seed: params.seed,
+        rows: workloads
+            .iter()
+            .map(|w| ManifestRow {
+                workload: w.name().to_string(),
+                cells: engines.iter().map(|&e| cell_key(e, w, params).hash).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// The outcome of a cached sweep: the grid rows plus how much of the grid
+/// was served from the store.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// `(workload name, summaries)` rows, exactly as [`ExperimentMatrix::run`]
+    /// returns them — byte-identical whether a cell was simulated or loaded.
+    pub rows: Vec<(String, Vec<RunSummary>)>,
+    /// Cache-effectiveness counters ([`CacheStats::default`] when no store
+    /// was supplied).
+    pub cache: CacheStats,
+}
+
 /// The (engine × workload) grid of one experiment sweep.
 ///
 /// Cells are executed via [`parallel_map`] and collected workload-major, in
@@ -118,21 +170,73 @@ impl<'a> ExperimentMatrix<'a> {
     /// Runs every cell and returns `(workload name, summaries)` rows where
     /// `summaries[i]` ran under `engines[i]`.
     pub fn run(&self, params: &ExperimentParams) -> Vec<(String, Vec<RunSummary>)> {
+        self.run_cached(params, None).rows
+    }
+
+    /// Like [`ExperimentMatrix::run`], but consulting (and feeding) an
+    /// experiment store when one is supplied:
+    ///
+    /// * **Lookup before dispatch** — every cell's [`CellKey`] is checked
+    ///   against the store first; hits never reach the worker pool.
+    /// * **Write-behind after collection** — each simulated cell is
+    ///   persisted the moment its worker finishes (atomic shard rewrite),
+    ///   so an interrupted sweep resumes from its last completed cell and a
+    ///   warm re-run of the whole grid performs zero simulations.
+    ///
+    /// The returned rows are byte-identical to an uncached run: a cell's
+    /// summary is a pure function of its key, and the JSON codec round-trips
+    /// every field exactly. Store I/O failures degrade to recomputation (a
+    /// warning on stderr), never to a failed sweep.
+    pub fn run_cached(
+        &self,
+        params: &ExperimentParams,
+        store: Option<&ExperimentStore>,
+    ) -> SweepRun {
         let cells: Vec<(usize, usize)> = (0..self.workloads.len())
             .flat_map(|w| (0..self.engines.len()).map(move |e| (w, e)))
             .collect();
-        let summaries = parallel_map(&cells, params.effective_jobs(), |_, &(w, e)| {
-            run_experiment(self.engines[e], &self.workloads[w], params)
+        let mut slots: Vec<Option<RunSummary>> = vec![None; cells.len()];
+        let keys: Vec<Option<CellKey>> = match store {
+            Some(store) => cells
+                .iter()
+                .enumerate()
+                .map(|(i, &(w, e))| {
+                    let key = cell_key(self.engines[e], &self.workloads[w], params);
+                    slots[i] = store.get(&key);
+                    Some(key)
+                })
+                .collect(),
+            None => vec![None; cells.len()],
+        };
+        let hits = slots.iter().filter(|s| s.is_some()).count();
+        let misses: Vec<usize> =
+            slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(i, _)| i).collect();
+        let computed = parallel_map(&misses, params.effective_jobs(), |_, &i| {
+            let (w, e) = cells[i];
+            let summary = run_experiment(self.engines[e], &self.workloads[w], params);
+            if let (Some(store), Some(key)) = (store, keys[i].as_ref()) {
+                if let Err(err) = store.put(key, &summary) {
+                    eprintln!(
+                        "warning: could not persist cell {} to {}: {err}",
+                        key.hex(),
+                        store.root().display()
+                    );
+                }
+            }
+            summary
         });
+        for (i, summary) in misses.iter().zip(computed) {
+            slots[*i] = Some(summary);
+        }
         let mut rows: Vec<(String, Vec<RunSummary>)> = self
             .workloads
             .iter()
             .map(|w| (w.name().to_string(), Vec::with_capacity(self.engines.len())))
             .collect();
-        for ((w, _), summary) in cells.into_iter().zip(summaries) {
-            rows[w].1.push(summary);
+        for ((w, _), summary) in cells.into_iter().zip(slots) {
+            rows[w].1.push(summary.expect("every slot filled by lookup or computation"));
         }
-        rows
+        SweepRun { rows, cache: CacheStats { hits, misses: misses.len() } }
     }
 }
 
@@ -185,6 +289,63 @@ mod tests {
             assert_eq!(runs[0].config, "rmo");
             assert_eq!(runs[1].config, "Invisi_rmo");
         }
+    }
+
+    #[test]
+    fn cached_sweep_is_byte_identical_and_warms_to_pure_hits() {
+        let engines = [
+            EngineKind::Conventional(ConsistencyModel::Sc),
+            EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+        ];
+        let workloads = [presets::barnes().into(), presets::apache().into()];
+        let matrix = ExperimentMatrix::new(&engines, &workloads);
+        let params = quick(4);
+        let uncached = matrix.run(&params);
+
+        let root =
+            std::env::temp_dir().join(format!("ifence-sweep-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ExperimentStore::open(&root).unwrap();
+        let cold = matrix.run_cached(&params, Some(&store));
+        assert_eq!(cold.cache, CacheStats { hits: 0, misses: 4 });
+        assert_eq!(cold.rows, uncached, "caching must not change results");
+
+        let warm = matrix.run_cached(&params, Some(&store));
+        assert_eq!(warm.cache, CacheStats { hits: 4, misses: 0 });
+        assert!(warm.cache.all_hits());
+        assert_eq!(warm.rows, uncached, "stored summaries must round-trip exactly");
+
+        // Different parameters miss: the trace budget is part of the key.
+        let mut longer = params;
+        longer.instructions_per_core += 1;
+        let other = matrix.run_cached(&longer, Some(&store));
+        assert_eq!(other.cache.hits, 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn partially_filled_store_resumes_the_remaining_cells() {
+        // Simulate an interrupted sweep: only the first engine's column was
+        // persisted before the "crash". The re-run serves that column from
+        // the store and simulates only the rest.
+        let engines = [
+            EngineKind::Conventional(ConsistencyModel::Tso),
+            EngineKind::InvisiSelective(ConsistencyModel::Tso),
+        ];
+        let workloads = [presets::ocean().into()];
+        let params = quick(2);
+        let root =
+            std::env::temp_dir().join(format!("ifence-sweep-resume-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ExperimentStore::open(&root).unwrap();
+        ExperimentMatrix::new(&engines[..1], &workloads).run_cached(&params, Some(&store));
+        assert_eq!(store.len(), 1);
+
+        let resumed = ExperimentMatrix::new(&engines, &workloads).run_cached(&params, Some(&store));
+        assert_eq!(resumed.cache, CacheStats { hits: 1, misses: 1 });
+        let full = ExperimentMatrix::new(&engines, &workloads).run(&params);
+        assert_eq!(resumed.rows, full);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

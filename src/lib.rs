@@ -14,6 +14,9 @@
 //!   speculation, commit-on-violate, and the ASO baseline.
 //! * [`workloads`] — synthetic workload presets and litmus tests.
 //! * [`sim`] — the machine assembly, experiment runner and figure drivers.
+//! * [`store`] — the content-addressed experiment store and result cache
+//!   behind the `ifence` CLI (resumable sweeps, warm re-runs, stored-sweep
+//!   reports and diffs).
 //!
 //! # Quick start
 //!
@@ -40,14 +43,17 @@ pub use ifence_cpu as cpu;
 pub use ifence_mem as mem;
 pub use ifence_sim as sim;
 pub use ifence_stats as stats;
+pub use ifence_store as store;
 pub use ifence_types as types;
 pub use ifence_workloads as workloads;
 pub use invisifence;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use ifence_sim::{run_experiment, run_litmus, ExperimentParams, Machine};
+    pub use ifence_sim::figures::FigureContext;
+    pub use ifence_sim::{cell_key, run_experiment, run_litmus, ExperimentParams, Machine};
     pub use ifence_stats::{ColumnTable, CycleBreakdown, RunSummary};
+    pub use ifence_store::{CacheStats, CellKey, ExperimentStore, JsonCodec, SweepManifest};
     pub use ifence_types::{
         Addr, BlockAddr, BoxedSource, ConsistencyModel, CoreId, CycleClass, EmptySource,
         EngineKind, Instruction, InstructionSource, MachineConfig, Program, ProgramSource,
