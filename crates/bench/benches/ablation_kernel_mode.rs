@@ -49,8 +49,14 @@ fn main() {
         EngineKind::InvisiSelective(ConsistencyModel::Sc),
         EngineKind::InvisiContinuous { commit_on_violate: true },
     ];
-    let mut table =
-        ColumnTable::new(["engine", "cycles", "dense ms", "event-driven ms", "speedup"]);
+    let mut table = ColumnTable::new([
+        "engine",
+        "cycles",
+        "dense ms",
+        "event-driven ms",
+        "delta ms",
+        "speedup",
+    ]);
     // Timed serially (never through the parallel sweep): concurrent cells
     // would contend for cores and corrupt the wall-clock comparison.
     for engine in engines {
@@ -67,11 +73,13 @@ fn main() {
             dense_cycles.to_string(),
             format!("{dense_ms:.1}"),
             format!("{skip_ms:.1}"),
+            format!("{:+.1}", dense_ms - skip_ms),
             format!("{:.2}x", dense_ms / skip_ms.max(1e-9)),
         ]);
     }
     println!("{table}");
     println!(
-        "(speedup = dense wall-clock / event-driven wall-clock; simulated results are identical)"
+        "(delta = dense minus event-driven wall-clock; speedup = dense / event-driven; \
+         simulated results are identical — both kernels now drive the FNV-keyed fabric maps)"
     );
 }

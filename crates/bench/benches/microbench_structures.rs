@@ -9,9 +9,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use ifence_coherence::Directory;
-use ifence_mem::{BlockData, LineState, SetAssocCache, SpecBitArray, StoreBuffer};
-use ifence_types::{Addr, BlockAddr, CacheConfig, CoreId};
+use ifence_coherence::DirectoryEntry;
+use ifence_mem::{BankedL2, BlockData, LineState, SetAssocCache, SpecBitArray, StoreBuffer};
+use ifence_types::{Addr, BlockAddr, CacheConfig, CoreId, L2Config};
 
 const WARMUP_ITERS: u32 = 20;
 const MEASURE_ITERS: u32 = 200;
@@ -95,14 +95,23 @@ fn bench_cache() {
 }
 
 fn bench_directory() {
-    bench("directory/sharer_tracking_16_cores", || {
-        let mut dir = Directory::new(16);
+    // The directory now lives inside the banked L2's tags: fill lines, run
+    // the sharer state machine on the embedded entries, then evict.
+    let cfg =
+        L2Config { size_bytes: 16 * 256 * 8 * 64, associativity: 8, hit_latency: 25, mshrs: 32 };
+    bench("l2_directory/embedded_sharer_tracking_16_banks", || {
+        let mut l2: BankedL2<DirectoryEntry> = BankedL2::new(&cfg, 16, 64);
         for i in 0..256u64 {
+            l2.fill(i, BlockData::zeroed(), DirectoryEntry::new(), DirectoryEntry::is_uncached);
+            let line = l2.get_mut(i).expect("just filled");
             for core in 0..4 {
-                dir.add_sharer(blk(i), CoreId(core));
+                line.dir.add_sharer(CoreId(core));
             }
-            black_box(dir.holders_except(blk(i), CoreId(0)).len());
-            dir.set_owner(blk(i), CoreId(1));
+            black_box(line.dir.holders_except(CoreId(0)).len());
+            line.dir.set_owner(CoreId(1));
+        }
+        for i in 0..256u64 {
+            black_box(l2.remove(i));
         }
     });
 }

@@ -1,7 +1,15 @@
-//! The coherence directory: per-block sharer/owner tracking.
+//! The coherence directory: per-block sharer/owner state, embedded in the
+//! shared L2's tags.
+//!
+//! There is no free-floating directory map: a block's [`DirectoryEntry`]
+//! lives inside its L2 line (the payload of
+//! [`ifence_mem::BankedL2`]), so directory state exists exactly for
+//! L2-resident blocks — the inclusive-hierarchy invariant. The entry itself
+//! is a small state machine (Uncached / Shared / Owned) with the transitions
+//! the MESI protocol needs; the fabric drives it and serialises transactions
+//! per block with the L2 line's busy bit.
 
 use ifence_types::{BlockAddr, CoreId};
-use std::collections::HashMap;
 
 /// Stable sharing state of one block as recorded at its home directory.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -15,67 +23,23 @@ pub enum DirectoryState {
     Owned(CoreId),
 }
 
-/// Directory entry: sharing state plus a busy flag while a transaction for the
-/// block is in flight (the directory serialises transactions per block).
-#[derive(Debug, Clone, Default)]
+/// Directory entry for one block: the sharing state machine embedded in the
+/// block's L2 line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DirectoryEntry {
     /// Current sharing state.
     pub state: DirectoryState,
-    /// True while a transaction for this block is being processed; further
-    /// requests are retried.
-    pub busy: bool,
 }
 
-/// The (logically distributed, physically flat) coherence directory.
-///
-/// Home-node assignment is address-interleaved: block number modulo the node
-/// count, matching the paper's directory-based 16-node machine.
-#[derive(Debug, Clone, Default)]
-pub struct Directory {
-    entries: HashMap<u64, DirectoryEntry>,
-    nodes: usize,
-}
-
-impl Directory {
-    /// Creates an empty directory for a machine with `nodes` nodes.
-    pub fn new(nodes: usize) -> Self {
-        Directory { entries: HashMap::new(), nodes: nodes.max(1) }
-    }
-
-    /// The home node of `block` (address-interleaved).
-    pub fn home(&self, block: BlockAddr) -> CoreId {
-        CoreId((block.number() as usize) % self.nodes)
-    }
-
-    /// Returns the entry for `block`, creating an Uncached entry on first use.
-    pub fn entry_mut(&mut self, block: BlockAddr) -> &mut DirectoryEntry {
-        self.entries.entry(block.number()).or_default()
-    }
-
-    /// Returns the entry for `block`, if it has ever been touched.
-    pub fn entry(&self, block: BlockAddr) -> Option<&DirectoryEntry> {
-        self.entries.get(&block.number())
-    }
-
-    /// Current sharing state of `block` (Uncached if never touched).
-    pub fn state(&self, block: BlockAddr) -> DirectoryState {
-        self.entries.get(&block.number()).map(|e| e.state.clone()).unwrap_or_default()
-    }
-
-    /// Returns true while a transaction for `block` is in flight.
-    pub fn is_busy(&self, block: BlockAddr) -> bool {
-        self.entries.get(&block.number()).map(|e| e.busy).unwrap_or(false)
-    }
-
-    /// Marks the block busy / not busy.
-    pub fn set_busy(&mut self, block: BlockAddr, busy: bool) {
-        self.entry_mut(block).busy = busy;
+impl DirectoryEntry {
+    /// A fresh entry (Uncached).
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Records that `core` now holds the block read-only (added to sharers).
-    pub fn add_sharer(&mut self, block: BlockAddr, core: CoreId) {
-        let entry = self.entry_mut(block);
-        entry.state = match std::mem::take(&mut entry.state) {
+    pub fn add_sharer(&mut self, core: CoreId) {
+        self.state = match std::mem::take(&mut self.state) {
             DirectoryState::Uncached => DirectoryState::Shared(vec![core]),
             DirectoryState::Shared(mut s) => {
                 if !s.contains(&core) {
@@ -95,20 +59,19 @@ impl Directory {
     }
 
     /// Records that `core` now exclusively owns the block.
-    pub fn set_owner(&mut self, block: BlockAddr, core: CoreId) {
-        self.entry_mut(block).state = DirectoryState::Owned(core);
+    pub fn set_owner(&mut self, core: CoreId) {
+        self.state = DirectoryState::Owned(core);
     }
 
     /// Records that no cache holds the block.
-    pub fn set_uncached(&mut self, block: BlockAddr) {
-        self.entry_mut(block).state = DirectoryState::Uncached;
+    pub fn set_uncached(&mut self) {
+        self.state = DirectoryState::Uncached;
     }
 
     /// Removes `core` from the sharer list / ownership (silent eviction or
     /// writeback). Leaves other sharers intact.
-    pub fn remove_holder(&mut self, block: BlockAddr, core: CoreId) {
-        let entry = self.entry_mut(block);
-        entry.state = match std::mem::take(&mut entry.state) {
+    pub fn remove_holder(&mut self, core: CoreId) {
+        self.state = match std::mem::take(&mut self.state) {
             DirectoryState::Uncached => DirectoryState::Uncached,
             DirectoryState::Owned(owner) if owner == core => DirectoryState::Uncached,
             DirectoryState::Owned(owner) => DirectoryState::Owned(owner),
@@ -125,32 +88,50 @@ impl Directory {
 
     /// The caches (other than `except`) that must be invalidated to grant
     /// `except` write permission.
-    pub fn holders_except(&self, block: BlockAddr, except: CoreId) -> Vec<CoreId> {
-        match self.state(block) {
+    pub fn holders_except(&self, except: CoreId) -> Vec<CoreId> {
+        match &self.state {
             DirectoryState::Uncached => Vec::new(),
             DirectoryState::Owned(owner) => {
-                if owner == except {
+                if *owner == except {
                     Vec::new()
                 } else {
-                    vec![owner]
+                    vec![*owner]
                 }
             }
-            DirectoryState::Shared(s) => s.into_iter().filter(|c| *c != except).collect(),
+            DirectoryState::Shared(s) => s.iter().copied().filter(|c| *c != except).collect(),
         }
+    }
+
+    /// Every cache currently recorded as holding the block (the recall
+    /// targets when this entry's L2 line is evicted).
+    pub fn holders(&self) -> Vec<CoreId> {
+        match &self.state {
+            DirectoryState::Uncached => Vec::new(),
+            DirectoryState::Owned(owner) => vec![*owner],
+            DirectoryState::Shared(s) => s.clone(),
+        }
+    }
+
+    /// True when no L1 holds the block — the condition under which its L2
+    /// line may be dropped without recalls (inclusion).
+    pub fn is_uncached(&self) -> bool {
+        matches!(self.state, DirectoryState::Uncached)
     }
 
     /// The current exclusive owner, if any.
-    pub fn owner(&self, block: BlockAddr) -> Option<CoreId> {
-        match self.state(block) {
-            DirectoryState::Owned(o) => Some(o),
+    pub fn owner(&self) -> Option<CoreId> {
+        match &self.state {
+            DirectoryState::Owned(o) => Some(*o),
             _ => None,
         }
     }
+}
 
-    /// Number of blocks the directory has ever tracked.
-    pub fn tracked_blocks(&self) -> usize {
-        self.entries.len()
-    }
+/// The home node of `block` on a machine with `nodes` nodes
+/// (address-interleaved: block number modulo the node count, matching both
+/// the paper's directory placement and the L2 bank interleaving).
+pub fn home_of(block: BlockAddr, nodes: usize) -> CoreId {
+    CoreId((block.number() as usize) % nodes.max(1))
 }
 
 #[cfg(test)]
@@ -164,61 +145,74 @@ mod tests {
 
     #[test]
     fn home_is_interleaved() {
-        let d = Directory::new(16);
-        assert_eq!(d.home(blk(0)), CoreId(0));
-        assert_eq!(d.home(blk(64)), CoreId(1));
-        assert_eq!(d.home(blk(64 * 17)), CoreId(1));
+        assert_eq!(home_of(blk(0), 16), CoreId(0));
+        assert_eq!(home_of(blk(64), 16), CoreId(1));
+        assert_eq!(home_of(blk(64 * 17), 16), CoreId(1));
+        assert_eq!(home_of(blk(64), 0), CoreId(0), "degenerate node count is clamped");
     }
 
     #[test]
-    fn sharer_tracking() {
-        let mut d = Directory::new(4);
-        let b = blk(0x100);
-        assert_eq!(d.state(b), DirectoryState::Uncached);
-        d.add_sharer(b, CoreId(1));
-        d.add_sharer(b, CoreId(2));
-        d.add_sharer(b, CoreId(2));
-        assert_eq!(d.state(b), DirectoryState::Shared(vec![CoreId(1), CoreId(2)]));
-        assert_eq!(d.holders_except(b, CoreId(2)), vec![CoreId(1)]);
-        d.remove_holder(b, CoreId(1));
-        d.remove_holder(b, CoreId(2));
-        assert_eq!(d.state(b), DirectoryState::Uncached);
+    fn uncached_to_shared_and_back() {
+        let mut e = DirectoryEntry::new();
+        assert_eq!(e.state, DirectoryState::Uncached);
+        assert!(e.is_uncached());
+        e.add_sharer(CoreId(1));
+        e.add_sharer(CoreId(2));
+        e.add_sharer(CoreId(2));
+        assert_eq!(e.state, DirectoryState::Shared(vec![CoreId(1), CoreId(2)]));
+        assert_eq!(e.holders_except(CoreId(2)), vec![CoreId(1)]);
+        assert_eq!(e.holders(), vec![CoreId(1), CoreId(2)]);
+        e.remove_holder(CoreId(1));
+        e.remove_holder(CoreId(2));
+        assert!(e.is_uncached());
     }
 
     #[test]
     fn ownership_transitions() {
-        let mut d = Directory::new(4);
-        let b = blk(0x200);
-        d.set_owner(b, CoreId(3));
-        assert_eq!(d.owner(b), Some(CoreId(3)));
-        assert_eq!(d.holders_except(b, CoreId(3)), Vec::<CoreId>::new());
-        assert_eq!(d.holders_except(b, CoreId(0)), vec![CoreId(3)]);
+        let mut e = DirectoryEntry::new();
+        e.set_owner(CoreId(3));
+        assert_eq!(e.owner(), Some(CoreId(3)));
+        assert_eq!(e.holders_except(CoreId(3)), Vec::<CoreId>::new());
+        assert_eq!(e.holders_except(CoreId(0)), vec![CoreId(3)]);
+        assert_eq!(e.holders(), vec![CoreId(3)]);
         // A downgrade adds the old owner and the new reader as sharers.
-        d.add_sharer(b, CoreId(0));
-        assert_eq!(d.state(b), DirectoryState::Shared(vec![CoreId(3), CoreId(0)]));
-        assert_eq!(d.owner(b), None);
+        e.add_sharer(CoreId(0));
+        assert_eq!(e.state, DirectoryState::Shared(vec![CoreId(3), CoreId(0)]));
+        assert_eq!(e.owner(), None);
     }
 
     #[test]
-    fn busy_flag() {
-        let mut d = Directory::new(4);
-        let b = blk(0x40);
-        assert!(!d.is_busy(b));
-        d.set_busy(b, true);
-        assert!(d.is_busy(b));
-        d.set_busy(b, false);
-        assert!(!d.is_busy(b));
+    fn uncached_to_owned_directly() {
+        // A GetM (or a GetS granted Exclusive) takes Uncached straight to
+        // Owned without passing through Shared.
+        let mut e = DirectoryEntry::new();
+        e.set_owner(CoreId(2));
+        assert_eq!(e.state, DirectoryState::Owned(CoreId(2)));
+        // A second owner replaces the first (invalidation already happened).
+        e.set_owner(CoreId(1));
+        assert_eq!(e.owner(), Some(CoreId(1)));
+        e.set_uncached();
+        assert!(e.is_uncached());
     }
 
     #[test]
     fn remove_nonholder_is_harmless() {
-        let mut d = Directory::new(4);
-        let b = blk(0x40);
-        d.set_owner(b, CoreId(1));
-        d.remove_holder(b, CoreId(2));
-        assert_eq!(d.owner(b), Some(CoreId(1)));
-        d.remove_holder(b, CoreId(1));
-        assert_eq!(d.state(b), DirectoryState::Uncached);
-        assert_eq!(d.tracked_blocks(), 1);
+        let mut e = DirectoryEntry::new();
+        e.set_owner(CoreId(1));
+        e.remove_holder(CoreId(2));
+        assert_eq!(e.owner(), Some(CoreId(1)));
+        e.remove_holder(CoreId(1));
+        assert!(e.is_uncached());
+    }
+
+    #[test]
+    fn shared_survives_partial_removal() {
+        let mut e = DirectoryEntry::new();
+        for c in [0, 1, 2] {
+            e.add_sharer(CoreId(c));
+        }
+        e.remove_holder(CoreId(1));
+        assert_eq!(e.state, DirectoryState::Shared(vec![CoreId(0), CoreId(2)]));
+        assert!(!e.is_uncached());
     }
 }

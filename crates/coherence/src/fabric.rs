@@ -1,30 +1,41 @@
-//! The coherence fabric: transaction engine tying together directory, L2,
-//! memory and torus latencies.
+//! The coherence fabric: transaction engine tying together the banked L2
+//! (with embedded directory), the DRAM tier behind it, and torus latencies.
+//!
+//! A transaction walks home-bank → L2 lookup → hit (`l2_hit_latency`) or
+//! miss → DRAM fetch (`dram latency`) and fill. The hierarchy is inclusive:
+//! every L1-resident block is L2-resident, so evicting an L2 line whose
+//! embedded directory entry still records L1 holders first *recalls*
+//! (invalidates) those holders. Recalls are ordinary external requests — they
+//! flow through each core's `on_external` path and can be squashed against
+//! or deferred by speculative state exactly like a remote writer's
+//! invalidation.
 
-use crate::directory::{Directory, DirectoryState};
+use crate::directory::{home_of, DirectoryEntry, DirectoryState};
 use crate::messages::{CoherenceReqKind, CoherenceRequest, Delivery, SnoopReply, TxnId};
-use ifence_mem::{BlockData, LineState};
-use ifence_types::{Addr, BlockAddr, CoreId, Cycle, InterconnectConfig, MachineConfig};
+use ifence_mem::{BankedL2, BlockData, L2FillOutcome, LineState};
+use ifence_stats::FabricStats;
+use ifence_types::{
+    Addr, BlockAddr, CoreId, Cycle, FnvMap, InterconnectConfig, L2Config, MachineConfig,
+};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Latency and topology parameters of the fabric.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FabricConfig {
     /// Number of nodes (cores); must match the torus size.
     pub nodes: usize,
-    /// Torus topology and per-hop latency.
+    /// Torus topology, per-hop latency and busy-retry interval.
     pub interconnect: InterconnectConfig,
-    /// L2 hit latency in cycles.
-    pub l2_hit_latency: u64,
-    /// Memory access latency in cycles (paid on the first touch of a block).
-    pub memory_latency: u64,
+    /// Shared-L2 geometry and hit latency (one bank per node; capacity 0 =
+    /// unbounded).
+    pub l2: L2Config,
+    /// DRAM access latency in cycles (paid on every L2 miss).
+    pub dram_latency: u64,
     /// Directory/protocol-controller occupancy per transaction.
     pub directory_latency: u64,
     /// Cache-block size in bytes.
     pub block_bytes: usize,
-    /// Delay before a request to a busy block is retried.
-    pub retry_interval: u64,
 }
 
 impl FabricConfig {
@@ -33,12 +44,16 @@ impl FabricConfig {
         FabricConfig {
             nodes: cfg.cores,
             interconnect: cfg.interconnect,
-            l2_hit_latency: cfg.l2.hit_latency,
-            memory_latency: cfg.l2.memory_latency,
+            l2: cfg.l2,
+            dram_latency: cfg.dram.latency,
             directory_latency: cfg.interconnect.directory_latency,
             block_bytes: cfg.l1.block_bytes,
-            retry_interval: 30,
         }
+    }
+
+    /// Delay before a request to a busy block or full set is retried.
+    fn retry_interval(&self) -> u64 {
+        self.interconnect.retry_interval
     }
 }
 
@@ -58,6 +73,9 @@ struct HeapKey {
 enum TxnKind {
     GetS,
     GetM,
+    /// Inclusion recall: the home node invalidates every L1 holder of a
+    /// victim line so it can be evicted from the L2.
+    Recall,
 }
 
 #[derive(Debug, Clone)]
@@ -67,7 +85,6 @@ struct Txn {
     kind: TxnKind,
     pending_acks: usize,
     data_ready_at: Cycle,
-    dirty_data: Option<BlockData>,
     grant_exclusive: bool,
     fill_scheduled: bool,
 }
@@ -76,34 +93,36 @@ struct Txn {
 #[derive(Debug)]
 pub struct CoherenceFabric {
     cfg: FabricConfig,
-    dir: Directory,
-    memory: HashMap<u64, BlockData>,
-    l2_resident: HashSet<u64>,
+    /// The shared banked L2; each line embeds its block's directory entry.
+    l2: BankedL2<DirectoryEntry>,
+    /// The DRAM tier: backing store for blocks not (or no longer) L2-resident.
+    dram: FnvMap<u64, BlockData>,
     heap: BinaryHeap<Reverse<HeapKey>>,
-    payloads: HashMap<u64, EventKind>,
+    payloads: FnvMap<u64, EventKind>,
     next_seq: u64,
-    txns: HashMap<u64, Txn>,
+    txns: FnvMap<u64, Txn>,
     next_txn: u64,
     deferred_acks: u64,
     total_transactions: u64,
+    stats: FabricStats,
 }
 
 impl CoherenceFabric {
     /// Creates an empty fabric.
     pub fn new(cfg: FabricConfig) -> Self {
-        let nodes = cfg.nodes;
+        let l2 = BankedL2::new(&cfg.l2, cfg.nodes, cfg.block_bytes);
         CoherenceFabric {
             cfg,
-            dir: Directory::new(nodes),
-            memory: HashMap::new(),
-            l2_resident: HashSet::new(),
+            l2,
+            dram: FnvMap::default(),
             heap: BinaryHeap::new(),
-            payloads: HashMap::new(),
+            payloads: FnvMap::default(),
             next_seq: 0,
-            txns: HashMap::new(),
+            txns: FnvMap::default(),
             next_txn: 0,
             deferred_acks: 0,
             total_transactions: 0,
+            stats: FabricStats::new(),
         }
     }
 
@@ -112,12 +131,13 @@ impl CoherenceFabric {
         &self.cfg
     }
 
-    /// Number of transactions currently in flight.
+    /// Number of transactions currently in flight (including recalls).
     pub fn outstanding(&self) -> usize {
         self.txns.len()
     }
 
-    /// Total transactions ever issued (GetS + GetM).
+    /// Total transactions ever issued by cores (GetS + GetM; recalls are
+    /// fabric-initiated and counted in [`CoherenceFabric::stats`]).
     pub fn total_transactions(&self) -> u64 {
         self.total_transactions
     }
@@ -125,6 +145,27 @@ impl CoherenceFabric {
     /// Acknowledgements deferred by commit-on-violate so far.
     pub fn deferred_acks(&self) -> u64 {
         self.deferred_acks
+    }
+
+    /// Memory-hierarchy counters: L2 hits/misses/evictions/recalls and DRAM
+    /// traffic.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Number of blocks currently resident in the L2.
+    pub fn l2_resident_lines(&self) -> usize {
+        self.l2.resident_lines()
+    }
+
+    /// The directory state of `block` (Uncached when not L2-resident).
+    pub fn directory_state(&self, block: BlockAddr) -> DirectoryState {
+        self.l2.get(block.number()).map(|l| l.dir.state.clone()).unwrap_or_default()
+    }
+
+    /// The current exclusive owner of `block`, if any.
+    pub fn owner(&self, block: BlockAddr) -> Option<CoreId> {
+        self.l2.get(block.number()).and_then(|l| l.dir.owner())
     }
 
     /// Returns true if any event or transaction is still pending.
@@ -152,26 +193,43 @@ impl CoherenceFabric {
         self.cfg.interconnect.latency(from.index(), to.index())
     }
 
-    fn memory_block(&self, block: BlockAddr) -> BlockData {
-        self.memory.get(&block.number()).copied().unwrap_or_else(BlockData::zeroed)
+    fn home(&self, block: BlockAddr) -> CoreId {
+        home_of(block, self.cfg.nodes)
     }
 
-    /// Reads the backing-store value of the 8-byte word at `addr` (used by
-    /// litmus tests and diagnostics; reflects only committed writebacks).
+    fn block_addr(&self, number: u64) -> BlockAddr {
+        BlockAddr::containing(Addr::new(number * self.cfg.block_bytes as u64), self.cfg.block_bytes)
+    }
+
+    fn dram_block(&self, number: u64) -> BlockData {
+        self.dram.get(&number).copied().unwrap_or_else(BlockData::zeroed)
+    }
+
+    /// Reads the memory-hierarchy value of the 8-byte word at `addr` — the
+    /// L2 copy when resident (it may be dirtier than DRAM), else DRAM. Used
+    /// by litmus tests and diagnostics; reflects only committed writebacks,
+    /// never L1-private dirty data.
     pub fn read_memory_word(&self, addr: Addr) -> u64 {
         let block = BlockAddr::containing(addr, self.cfg.block_bytes);
         let word = addr.word_in_block(self.cfg.block_bytes).index();
-        self.memory_block(block).word(word)
+        match self.l2.get(block.number()) {
+            Some(line) => line.data.word(word),
+            None => self.dram_block(block.number()).word(word),
+        }
     }
 
     /// Writes the backing-store value of the 8-byte word at `addr` (used to
-    /// initialise litmus-test memory).
+    /// initialise litmus-test memory). Updates both DRAM and, if resident,
+    /// the L2 copy so the two tiers stay coherent.
     pub fn write_memory_word(&mut self, addr: Addr, value: u64) {
         let block = BlockAddr::containing(addr, self.cfg.block_bytes);
         let word = addr.word_in_block(self.cfg.block_bytes).index();
-        let mut data = self.memory_block(block);
+        let mut data = self.dram_block(block.number());
         data.set_word(word, value);
-        self.memory.insert(block.number(), data);
+        self.dram.insert(block.number(), data);
+        if let Some(line) = self.l2.get_mut(block.number()) {
+            line.data.set_word(word, value);
+        }
     }
 
     /// Issues a request from a core at time `now`.
@@ -194,34 +252,122 @@ impl CoherenceFabric {
                         kind,
                         pending_acks: 0,
                         data_ready_at: now,
-                        dirty_data: None,
                         grant_exclusive: false,
                         fill_scheduled: false,
                     },
                 );
-                let home = self.dir.home(req.block);
+                let home = self.home(req.block);
                 let arrive = now + self.latency(req.core, home) + self.cfg.directory_latency;
                 self.schedule(arrive, EventKind::DirAccess(id));
             }
             CoherenceReqKind::WritebackDirty(data) => {
                 // Applied immediately: the timing error is a few tens of
-                // cycles and the value is what matters for correctness.
-                self.memory.insert(req.block.number(), data);
-                self.l2_resident.insert(req.block.number());
-                self.dir.remove_holder(req.block, req.core);
+                // cycles and the value is what matters for correctness. The
+                // dirty copy lands in the L2 when the block is resident
+                // (every fabric-filled block is, by inclusion, unless the L2
+                // evicted it); a non-resident block's data goes straight to
+                // DRAM without allocating.
+                match self.l2.get_mut(req.block.number()) {
+                    Some(line) => {
+                        line.data = data;
+                        line.dirty = true;
+                        line.dir.remove_holder(req.core);
+                    }
+                    None => {
+                        self.dram.insert(req.block.number(), data);
+                        self.stats.dram_writebacks += 1;
+                    }
+                }
             }
             CoherenceReqKind::WritebackClean => {
-                self.l2_resident.insert(req.block.number());
-                self.dir.remove_holder(req.block, req.core);
+                if let Some(line) = self.l2.get_mut(req.block.number()) {
+                    line.dir.remove_holder(req.core);
+                }
             }
         }
     }
 
-    fn data_latency(&mut self, block: BlockAddr) -> u64 {
-        if self.l2_resident.insert(block.number()) {
-            self.cfg.memory_latency
-        } else {
-            self.cfg.l2_hit_latency
+    /// True while the block's L2 line is pinned by an in-flight transaction
+    /// (GetS/GetM being serviced, or an inclusion recall draining its L1
+    /// holders).
+    fn line_busy(&self, block: BlockAddr) -> bool {
+        self.l2.get(block.number()).map(|l| l.busy).unwrap_or(false)
+    }
+
+    /// Ensures `block` is L2-resident, returning the data latency of this
+    /// access: the hit latency when resident, the DRAM latency when the
+    /// block had to be fetched and filled. `None` means the access cannot
+    /// proceed yet — a victim's L1 holders are being recalled, or every way
+    /// of the target set is pinned — and the caller must retry.
+    fn ensure_resident(&mut self, block: BlockAddr, now: Cycle) -> Option<u64> {
+        let number = block.number();
+        if self.l2.get(number).is_some() {
+            self.l2.touch(number);
+            self.stats.l2_hits += 1;
+            return Some(self.cfg.l2.hit_latency);
+        }
+        let data = self.dram_block(number);
+        match self.l2.fill(number, data, DirectoryEntry::new(), DirectoryEntry::is_uncached) {
+            L2FillOutcome::Installed { evicted } => {
+                if let Some(ev) = evicted {
+                    self.stats.l2_evictions += 1;
+                    if ev.dirty {
+                        self.dram.insert(ev.block, ev.data);
+                        self.stats.dram_writebacks += 1;
+                    }
+                }
+                self.stats.l2_misses += 1;
+                self.stats.dram_reads += 1;
+                Some(self.cfg.dram_latency)
+            }
+            L2FillOutcome::NeedsRecall { victim } => {
+                self.start_recall(victim, now);
+                None
+            }
+            L2FillOutcome::Blocked => None,
+        }
+    }
+
+    /// Starts an inclusion recall of `victim`: pins its line, and sends an
+    /// invalidation to every L1 holder recorded in the embedded directory
+    /// entry. When the last acknowledgement arrives the line is dropped and
+    /// its (possibly dirtied) data written back to DRAM.
+    fn start_recall(&mut self, victim: u64, now: Cycle) {
+        let block = self.block_addr(victim);
+        let home = self.home(block);
+        let holders = {
+            let line = self.l2.get_mut(victim).expect("recall victim is resident");
+            line.busy = true;
+            line.dir.holders()
+        };
+        debug_assert!(!holders.is_empty(), "recalls target lines with L1 holders");
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.txns.insert(
+            id,
+            Txn {
+                requester: home,
+                block,
+                kind: TxnKind::Recall,
+                pending_acks: holders.len(),
+                data_ready_at: now,
+                grant_exclusive: false,
+                fill_scheduled: false,
+            },
+        );
+        self.stats.l2_recalls += 1;
+        for holder in holders {
+            let deliver_at = now + self.latency(home, holder);
+            self.schedule(
+                deliver_at,
+                EventKind::Deliver(Delivery::Invalidate {
+                    core: holder,
+                    block,
+                    txn: TxnId(id),
+                    requester: home,
+                    recall: true,
+                }),
+            );
         }
     }
 
@@ -230,17 +376,28 @@ impl CoherenceFabric {
             Some(t) => (t.block, t.requester, t.kind),
             None => return,
         };
-        if self.dir.is_busy(block) {
-            self.schedule(now + self.cfg.retry_interval, EventKind::DirAccess(id));
+        if self.line_busy(block) {
+            self.stats.busy_retries += 1;
+            self.schedule(now + self.cfg.retry_interval(), EventKind::DirAccess(id));
             return;
         }
-        self.dir.set_busy(block, true);
-        let home = self.dir.home(block);
-        let data_lat = self.data_latency(block);
+        let Some(data_lat) = self.ensure_resident(block, now) else {
+            // A recall is draining the victim's holders, or every way of the
+            // set is pinned: retry once the set has breathing room.
+            self.stats.busy_retries += 1;
+            self.schedule(now + self.cfg.retry_interval(), EventKind::DirAccess(id));
+            return;
+        };
+        let home = self.home(block);
+        let dir = {
+            let line = self.l2.get_mut(block.number()).expect("resident after ensure_resident");
+            line.busy = true;
+            line.dir.clone()
+        };
 
         match kind {
             TxnKind::GetS => {
-                let owner = self.dir.owner(block).filter(|o| *o != requester);
+                let owner = dir.owner().filter(|o| *o != requester);
                 match owner {
                     Some(o) => {
                         let deliver_at = now + self.latency(home, o);
@@ -259,8 +416,7 @@ impl CoherenceFabric {
                         }
                     }
                     None => {
-                        let grant_exclusive =
-                            matches!(self.dir.state(block), DirectoryState::Uncached);
+                        let grant_exclusive = dir.is_uncached();
                         if let Some(t) = self.txns.get_mut(&id) {
                             t.grant_exclusive = grant_exclusive;
                             t.data_ready_at = now + data_lat;
@@ -270,10 +426,10 @@ impl CoherenceFabric {
                 }
             }
             TxnKind::GetM => {
-                let holders = self.dir.holders_except(block, requester);
-                let already_shared = match self.dir.state(block) {
+                let holders = dir.holders_except(requester);
+                let already_shared = match &dir.state {
                     DirectoryState::Shared(s) => s.contains(&requester),
-                    DirectoryState::Owned(o) => o == requester,
+                    DirectoryState::Owned(o) => *o == requester,
                     DirectoryState::Uncached => false,
                 };
                 for h in &holders {
@@ -285,12 +441,13 @@ impl CoherenceFabric {
                             block,
                             txn: TxnId(id),
                             requester,
+                            recall: false,
                         }),
                     );
                 }
                 if let Some(t) = self.txns.get_mut(&id) {
                     t.pending_acks = holders.len();
-                    // An upgrade needs no data; otherwise fetch from L2/memory
+                    // An upgrade needs no data; otherwise fetch from L2/DRAM
                     // in parallel with the invalidations.
                     t.data_ready_at = if already_shared { now } else { now + data_lat };
                     t.grant_exclusive = true;
@@ -299,11 +456,12 @@ impl CoherenceFabric {
                     self.schedule_fill(id, now);
                 }
             }
+            TxnKind::Recall => unreachable!("recalls never enter the directory-access path"),
         }
     }
 
     fn schedule_fill(&mut self, id: u64, now: Cycle) {
-        let (requester, block, kind, data_ready, dirty, grant_exclusive) = {
+        let (requester, block, kind, data_ready, grant_exclusive) = {
             let t = match self.txns.get_mut(&id) {
                 Some(t) => t,
                 None => return,
@@ -312,17 +470,12 @@ impl CoherenceFabric {
                 return;
             }
             t.fill_scheduled = true;
-            (t.requester, t.block, t.kind, t.data_ready_at, t.dirty_data, t.grant_exclusive)
+            (t.requester, t.block, t.kind, t.data_ready_at, t.grant_exclusive)
         };
-        let home = self.dir.home(block);
-        let data = match dirty {
-            Some(d) => {
-                // The dirty copy is the authoritative value; keep memory in sync.
-                self.memory.insert(block.number(), d);
-                d
-            }
-            None => self.memory_block(block),
-        };
+        let home = self.home(block);
+        // The pinned line is the single authoritative copy: respond() merged
+        // any holder's dirty data into it before the last ack landed here.
+        let data = self.l2.get(block.number()).expect("txn line stays pinned").data;
         let state = match kind {
             TxnKind::GetM => LineState::Exclusive,
             TxnKind::GetS => {
@@ -332,6 +485,7 @@ impl CoherenceFabric {
                     LineState::Shared
                 }
             }
+            TxnKind::Recall => unreachable!("recalls deliver no fill"),
         };
         let fill_at = data_ready.max(now) + self.latency(home, requester);
         self.schedule(
@@ -351,17 +505,34 @@ impl CoherenceFabric {
             Some(t) => t,
             None => return,
         };
+        let line = self.l2.get_mut(t.block.number()).expect("txn line stays pinned");
         match t.kind {
-            TxnKind::GetM => self.dir.set_owner(t.block, t.requester),
+            TxnKind::GetM => line.dir.set_owner(t.requester),
             TxnKind::GetS => {
                 if t.grant_exclusive {
-                    self.dir.set_owner(t.block, t.requester);
+                    line.dir.set_owner(t.requester);
                 } else {
-                    self.dir.add_sharer(t.block, t.requester);
+                    line.dir.add_sharer(t.requester);
                 }
             }
+            TxnKind::Recall => unreachable!("recalls complete via finalize_recall"),
         }
-        self.dir.set_busy(t.block, false);
+        line.busy = false;
+    }
+
+    /// Completes an inclusion recall: every holder has acknowledged, so the
+    /// line leaves the L2 and its data (dirtied by any holder's writeback)
+    /// lands in DRAM.
+    fn finalize_recall(&mut self, id: u64) {
+        let Some(t) = self.txns.remove(&id) else { return };
+        debug_assert_eq!(t.kind, TxnKind::Recall);
+        if let Some(ev) = self.l2.remove(t.block.number()) {
+            self.stats.l2_evictions += 1;
+            if ev.dirty {
+                self.dram.insert(ev.block, ev.data);
+                self.stats.dram_writebacks += 1;
+            }
+        }
     }
 
     /// A core's reply to an invalidation or downgrade delivery.
@@ -372,24 +543,27 @@ impl CoherenceFabric {
             }
             SnoopReply::Ack { core, txn, dirty_data } => {
                 let id = txn.0;
-                let (block, home) = match self.txns.get(&id) {
-                    Some(t) => (t.block, self.dir.home(t.block)),
+                let (block, kind) = match self.txns.get(&id) {
+                    Some(t) => (t.block, t.kind),
                     None => return,
                 };
+                let home = self.home(block);
                 if let Some(d) = dirty_data {
-                    self.memory.insert(block.number(), d);
+                    let line = self.l2.get_mut(block.number()).expect("txn line stays pinned");
+                    line.data = d;
+                    line.dirty = true;
                 }
                 let ack_arrives = now + self.latency(core, home);
                 let ready = {
                     let t = self.txns.get_mut(&id).expect("transaction exists");
-                    if let Some(d) = dirty_data {
-                        t.dirty_data = Some(d);
-                    }
                     t.pending_acks = t.pending_acks.saturating_sub(1);
                     t.pending_acks == 0
                 };
                 if ready {
-                    self.schedule_fill(id, ack_arrives);
+                    match kind {
+                        TxnKind::Recall => self.finalize_recall(id),
+                        TxnKind::GetS | TxnKind::GetM => self.schedule_fill(id, ack_arrives),
+                    }
                 }
             }
         }
@@ -449,13 +623,20 @@ mod tests {
                 mesh_height: 2,
                 hop_latency: 10,
                 directory_latency: 2,
+                retry_interval: 8,
             },
-            l2_hit_latency: 5,
-            memory_latency: 20,
+            l2: L2Config { size_bytes: 0, associativity: 0, hit_latency: 5, mshrs: 8 },
+            dram_latency: 20,
             directory_latency: 2,
             block_bytes: 64,
-            retry_interval: 8,
         }
+    }
+
+    /// A tiny finite L2: 4 banks × 1 set × 2 ways = 8 blocks total.
+    fn tiny_l2_config() -> FabricConfig {
+        let mut cfg = config();
+        cfg.l2 = L2Config { size_bytes: 4 * 2 * 64, associativity: 2, hit_latency: 5, mshrs: 8 };
+        cfg
     }
 
     fn blk(byte: u64) -> BlockAddr {
@@ -506,7 +687,9 @@ mod tests {
             _ => unreachable!(),
         }
         assert!(!fabric.busy());
-        assert_eq!(fabric.dir.owner(blk(0x0)), Some(CoreId(0)));
+        assert_eq!(fabric.owner(blk(0x0)), Some(CoreId(0)));
+        assert_eq!(fabric.stats().l2_misses, 1, "cold access fetches from DRAM");
+        assert_eq!(fabric.stats().dram_reads, 1);
     }
 
     #[test]
@@ -515,7 +698,7 @@ mod tests {
         // Core 1 acquires the block exclusively, then core 2 reads it.
         fabric.request(getm(1, blk(0x40)), 0);
         let _ = run_collect_fills(&mut fabric, None, 1000);
-        assert_eq!(fabric.dir.owner(blk(0x40)), Some(CoreId(1)));
+        assert_eq!(fabric.owner(blk(0x40)), Some(CoreId(1)));
 
         fabric.request(gets(2, blk(0x40)), 1000);
         let mut downgrades = 0;
@@ -541,7 +724,10 @@ mod tests {
         assert_eq!(core, CoreId(2));
         assert_eq!(state, LineState::Shared);
         assert_eq!(data.word(0), 0xAB, "fill carries the owner's dirty data");
-        assert_eq!(fabric.dir.state(blk(0x40)), DirectoryState::Shared(vec![CoreId(1), CoreId(2)]));
+        assert_eq!(
+            fabric.directory_state(blk(0x40)),
+            DirectoryState::Shared(vec![CoreId(1), CoreId(2)])
+        );
     }
 
     #[test]
@@ -559,7 +745,8 @@ mod tests {
         for now in 1200..4000 {
             for d in fabric.step(now) {
                 match d {
-                    Delivery::Invalidate { core, txn, .. } => {
+                    Delivery::Invalidate { core, txn, recall, .. } => {
+                        assert!(!recall, "a remote GetM is not an inclusion recall");
                         invalidated_cores.push(core);
                         fabric.respond(SnoopReply::Ack { core, txn, dirty_data: None }, now);
                     }
@@ -573,7 +760,7 @@ mod tests {
         let (core, state, _) = fill.expect("writer receives a fill");
         assert_eq!(core, CoreId(2));
         assert_eq!(state, LineState::Exclusive);
-        assert_eq!(fabric.dir.owner(blk(0x80)), Some(CoreId(2)));
+        assert_eq!(fabric.owner(blk(0x80)), Some(CoreId(2)));
     }
 
     #[test]
@@ -628,8 +815,9 @@ mod tests {
         assert_eq!(fills.len(), 2, "both writers eventually complete");
         assert!(!fabric.busy());
         // The final owner is whichever transaction completed second.
-        assert!(fabric.dir.owner(blk(0x100)).is_some());
+        assert!(fabric.owner(blk(0x100)).is_some());
         assert_eq!(fabric.total_transactions(), 2);
+        assert!(fabric.stats().busy_retries > 0, "the loser retried at the directory");
     }
 
     #[test]
@@ -648,7 +836,7 @@ mod tests {
             700,
         );
         assert_eq!(fabric.read_memory_word(Addr::new(0x148)), 77);
-        assert_eq!(fabric.dir.state(blk(0x140)), DirectoryState::Uncached);
+        assert_eq!(fabric.directory_state(blk(0x140)), DirectoryState::Uncached);
 
         // A later reader sees the written-back value.
         fabric.request(gets(0, blk(0x140)), 800);
@@ -709,7 +897,7 @@ mod tests {
         fabric.request(gets(0, blk(0x0)), 0);
         let first = run_collect_fills(&mut fabric, None, 2000);
         // Drop the block and fetch it again from the same node: the second
-        // fetch skips the memory latency.
+        // fetch skips the DRAM latency.
         fabric.request(
             CoherenceRequest {
                 core: CoreId(0),
@@ -726,5 +914,109 @@ mod tests {
             second_latency < first_latency,
             "L2 hit ({second_latency}) should beat cold miss ({first_latency})"
         );
+        assert_eq!(fabric.stats().l2_hits, 1);
+        assert_eq!(fabric.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_writes_dirty_victim_to_dram() {
+        // 2 ways per bank: the third distinct block homed at bank 0 evicts
+        // the least-recently-used one. Holderless victims drop silently;
+        // dirty ones land in DRAM.
+        let mut fabric = CoherenceFabric::new(tiny_l2_config());
+        // Bank 0 blocks: numbers 0, 4, 8 → byte addresses 0x0, 0x100, 0x200.
+        fabric.request(getm(0, blk(0x000)), 0);
+        let _ = run_collect_fills(&mut fabric, None, 600);
+        let mut dirty = BlockData::zeroed();
+        dirty.set_word(0, 55);
+        fabric.request(
+            CoherenceRequest {
+                core: CoreId(0),
+                block: blk(0x000),
+                kind: CoherenceReqKind::WritebackDirty(dirty),
+            },
+            600,
+        );
+        // Fill the second way, then force the eviction of block 0.
+        fabric.request(gets(0, blk(0x100)), 700);
+        let _ = run_collect_fills(&mut fabric, None, 1400);
+        fabric.request(
+            CoherenceRequest {
+                core: CoreId(0),
+                block: blk(0x100),
+                kind: CoherenceReqKind::WritebackClean,
+            },
+            1400,
+        );
+        fabric.request(gets(0, blk(0x200)), 1500);
+        let _ = run_collect_fills(&mut fabric, None, 2200);
+        assert!(fabric.stats().l2_evictions >= 1, "{:?}", fabric.stats());
+        assert_eq!(fabric.stats().dram_writebacks, 1, "dirty victim written back");
+        // The evicted dirty value survives in DRAM and is re-fetchable.
+        assert_eq!(fabric.read_memory_word(Addr::new(0x000)), 55);
+        fabric.request(gets(0, blk(0x000)), 2300);
+        let fills = run_collect_fills(&mut fabric, None, 3000);
+        match fills.last().expect("refetch completes").1 {
+            Delivery::Fill { data, .. } => assert_eq!(data.word(0), 55),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn inclusion_eviction_recalls_l1_holders() {
+        let mut fabric = CoherenceFabric::new(tiny_l2_config());
+        // Two blocks of bank 0, both still held by L1s (no writeback).
+        fabric.request(getm(1, blk(0x000)), 0);
+        let _ = run_collect_fills(&mut fabric, None, 600);
+        fabric.request(gets(2, blk(0x100)), 600);
+        let _ = run_collect_fills(&mut fabric, None, 1200);
+        assert_eq!(fabric.l2_resident_lines(), 2);
+
+        // A third block needs the set: the LRU victim (0x000, owned by core
+        // 1) must be recalled before the requester can be served.
+        fabric.request(gets(3, blk(0x200)), 1200);
+        let mut recalled = None;
+        let mut fills = Vec::new();
+        let dirty = BlockData::from_words([0x77; 8]);
+        for now in 1200..6000 {
+            for d in fabric.step(now) {
+                match d {
+                    Delivery::Invalidate { core, txn, recall, block, .. } => {
+                        assert!(recall, "the only invalidation here is the inclusion recall");
+                        assert_eq!(core, CoreId(1));
+                        assert_eq!(block, blk(0x000));
+                        recalled = Some(now);
+                        fabric.respond(SnoopReply::Ack { core, txn, dirty_data: Some(dirty) }, now);
+                    }
+                    Delivery::Fill { core, .. } => {
+                        assert_eq!(core, CoreId(3));
+                        fills.push(now);
+                    }
+                    Delivery::Downgrade { .. } => panic!("no downgrade expected"),
+                }
+            }
+        }
+        let recalled_at = recalled.expect("the recall was delivered");
+        assert_eq!(fills.len(), 1, "the requester is eventually served");
+        assert!(fills[0] > recalled_at, "the fill waits for the recall");
+        assert_eq!(fabric.stats().l2_recalls, 1);
+        assert!(fabric.stats().busy_retries > 0, "the requester retried during the recall");
+        // The recalled owner's dirty data reached DRAM.
+        assert_eq!(fabric.read_memory_word(Addr::new(0x000)), 0x77);
+        assert_eq!(fabric.directory_state(blk(0x000)), DirectoryState::Uncached);
+        assert!(!fabric.busy());
+    }
+
+    #[test]
+    fn unbounded_l2_never_evicts_or_recalls() {
+        let mut fabric = CoherenceFabric::new(config());
+        for i in 0..64u64 {
+            fabric.request(gets(0, blk(i * 64)), i * 500);
+        }
+        let _ = run_collect_fills(&mut fabric, None, 64 * 500 + 2000);
+        assert_eq!(fabric.l2_resident_lines(), 64);
+        assert_eq!(fabric.stats().l2_evictions, 0);
+        assert_eq!(fabric.stats().l2_recalls, 0);
+        assert_eq!(fabric.stats().l2_misses, 64, "every first touch is a cold miss");
     }
 }

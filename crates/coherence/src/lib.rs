@@ -1,14 +1,19 @@
 //! Directory-based MESI cache-coherence fabric.
 //!
 //! This crate models everything *beyond* the per-core L1 caches of the
-//! paper's machine: the address-interleaved directory and L2 slices, main
-//! memory, and the 4×4 torus interconnect that connects them. The fabric is
-//! transaction-serialised: each GetS/GetM is processed at its home directory,
-//! which sends invalidations or downgrades to remote L1s (these are exactly
-//! the external requests InvisiFence snoops to detect ordering violations),
-//! collects their acknowledgements — which a core running the
-//! commit-on-violate policy may *defer* — and finally delivers the data fill
-//! to the requester with torus-latency timing.
+//! paper's machine: the banked, address-interleaved shared L2 with directory
+//! state embedded in its tags, the DRAM tier behind it, and the 4×4 torus
+//! interconnect that connects them. The fabric is transaction-serialised:
+//! each GetS/GetM is processed at its home bank — an L2 hit pays the hit
+//! latency, a miss fetches from DRAM — which sends invalidations or
+//! downgrades to remote L1s (these are exactly the external requests
+//! InvisiFence snoops to detect ordering violations), collects their
+//! acknowledgements — which a core running the commit-on-violate policy may
+//! *defer* — and finally delivers the data fill to the requester with
+//! torus-latency timing. The hierarchy is inclusive: an L2 line whose
+//! embedded directory entry still records L1 holders is evicted only after a
+//! *recall* invalidates those holders, and recalls flow through the same
+//! external-request path as any remote write.
 //!
 //! The fabric communicates with cores purely through value messages
 //! ([`Delivery`] out, [`SnoopReply`] / [`CoherenceRequest`] in), so the
@@ -44,6 +49,6 @@ pub mod directory;
 pub mod fabric;
 pub mod messages;
 
-pub use directory::{Directory, DirectoryEntry, DirectoryState};
+pub use directory::{home_of, DirectoryEntry, DirectoryState};
 pub use fabric::{CoherenceFabric, FabricConfig};
 pub use messages::{CoherenceReqKind, CoherenceRequest, Delivery, SnoopReply, TxnId};

@@ -73,8 +73,15 @@ pub enum Delivery {
         block: BlockAddr,
         /// The transaction awaiting this acknowledgement.
         txn: TxnId,
-        /// The core whose GetM triggered the invalidation.
+        /// The core whose GetM triggered the invalidation — or, for an
+        /// inclusion recall, the home node evicting the line.
         requester: CoreId,
+        /// True when this invalidation is an inclusion recall (the home
+        /// node's L2 is evicting the line), as opposed to a remote writer's
+        /// GetM. Cores treat both identically — the flag only feeds
+        /// statistics — which is precisely how recalls interact with
+        /// speculative state through the ordinary external-request path.
+        recall: bool,
     },
     /// An external read request: the core must downgrade its exclusive copy to
     /// Shared, supplying dirty data if it had modified the block.
@@ -165,6 +172,7 @@ mod tests {
             block: blk(0x40),
             txn: TxnId(7),
             requester: CoreId(1),
+            recall: false,
         };
         assert_eq!(d.core(), CoreId(2));
         assert_eq!(d.block(), blk(0x40));

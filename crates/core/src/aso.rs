@@ -506,6 +506,7 @@ mod tests {
                 block: blk(0x3000),
                 txn: TxnId(7),
                 requester: CoreId(1),
+                recall: false,
             },
             40,
         );

@@ -364,6 +364,7 @@ mod tests {
                 block: blk(0x1000),
                 txn: TxnId(1),
                 requester: CoreId(1),
+                recall: false,
             },
             10,
         );
@@ -434,6 +435,7 @@ mod tests {
                 block: blk(0x1000),
                 txn: TxnId(5),
                 requester: CoreId(1),
+                recall: false,
             },
             6,
         );

@@ -50,19 +50,10 @@ mod tests {
 
     #[test]
     fn every_engine_kind_builds_with_matching_label() {
-        let kinds = [
-            EngineKind::Conventional(Sc),
-            EngineKind::Conventional(Tso),
-            EngineKind::Conventional(Rmo),
-            EngineKind::InvisiSelective(Sc),
-            EngineKind::InvisiSelective(Tso),
-            EngineKind::InvisiSelective(Rmo),
-            EngineKind::InvisiSelectiveTwoCkpt(Sc),
-            EngineKind::InvisiContinuous { commit_on_violate: false },
-            EngineKind::InvisiContinuous { commit_on_violate: true },
-            EngineKind::Aso(Sc),
-        ];
-        for kind in kinds {
+        // EngineKind::all() is the canonical list: a newly added kind that
+        // cannot be built (or whose engine misreports its name) fails here
+        // without anyone having to remember to extend a hand-written list.
+        for kind in EngineKind::all() {
             let cfg = MachineConfig::with_engine(kind);
             let engine = build_engine(kind, &cfg);
             assert_eq!(engine.name(), kind.label(), "label mismatch for {kind:?}");

@@ -453,6 +453,7 @@ mod tests {
                 block: blk(0x1000),
                 txn: TxnId(9),
                 requester: CoreId(1),
+                recall: false,
             },
             20,
         );
@@ -475,6 +476,86 @@ mod tests {
     }
 
     #[test]
+    fn l2_recall_aborts_speculative_reader() {
+        // An inclusion recall (the home L2 evicting a line with L1 holders)
+        // arrives through the same external-request path as a remote write:
+        // against a speculatively-read block it must abort the episode.
+        let mut program = Program::new();
+        program.push(Instruction::store(Addr::new(0x9000), 1)); // miss -> speculation trigger
+        program.push(Instruction::fence());
+        program.push(Instruction::load(Addr::new(0x1000))); // speculatively read
+        let mut core = core_with(ConsistencyModel::Rmo, program);
+        prefill(&mut core, &[0x1000], LineState::Exclusive);
+        for now in 0..20 {
+            core.step(now);
+        }
+        assert!(core.speculating());
+        assert!(core.mem.l1.is_spec_read(blk(0x1000), 0));
+
+        let reply = core.handle_delivery(
+            Delivery::Invalidate {
+                core: CoreId(0),
+                block: blk(0x1000),
+                txn: TxnId(11),
+                requester: CoreId(0), // recalls come from the home node
+                recall: true,
+            },
+            20,
+        );
+        assert!(matches!(reply, Some(ifence_coherence::SnoopReply::Ack { .. })));
+        assert!(!core.speculating(), "the recall aborts the speculation");
+        assert_eq!(core.stats().counters.speculations_aborted, 1);
+        assert_eq!(core.stats().counters.l2_recalls_received, 1);
+        assert!(core.stats().breakdown.get(CycleClass::Violation) > 0);
+        // Execution replays and completes once the miss is serviced.
+        run_with_autofill(&mut core, 4000, 60);
+        assert!(core.finished());
+        assert_eq!(core.retired_count(), 3);
+    }
+
+    #[test]
+    fn l2_recall_defers_under_commit_on_violate() {
+        // Under commit-on-violate the recall is deferred, exactly like a
+        // remote writer's invalidation, giving the episode a chance to
+        // commit before the line is surrendered.
+        let machine = {
+            let mut m = cfg(ConsistencyModel::Rmo);
+            m.speculation.commit_on_violate = true;
+            m.speculation.cov_timeout = 4000;
+            m
+        };
+        let mut program = Program::new();
+        program.push(Instruction::store(Addr::new(0x9000), 1)); // miss
+        program.push(Instruction::fence());
+        program.push(Instruction::load(Addr::new(0x1000)));
+        let mut core = Core::new(
+            CoreId(0),
+            program,
+            &machine,
+            Box::new(InvisiSelectiveEngine::new(ConsistencyModel::Rmo, &machine)),
+        );
+        prefill(&mut core, &[0x1000], LineState::Exclusive);
+        for now in 0..20 {
+            core.step(now);
+        }
+        assert!(core.speculating());
+        let reply = core.handle_delivery(
+            Delivery::Invalidate {
+                core: CoreId(0),
+                block: blk(0x1000),
+                txn: TxnId(12),
+                requester: CoreId(0),
+                recall: true,
+            },
+            20,
+        );
+        assert!(matches!(reply, Some(ifence_coherence::SnoopReply::Defer { .. })));
+        assert_eq!(core.stats().counters.cov_deferrals, 1);
+        assert_eq!(core.stats().counters.l2_recalls_received, 1);
+        assert!(core.speculating(), "the deferred recall leaves the episode alive");
+    }
+
+    #[test]
     fn external_request_without_conflict_does_not_abort() {
         let mut program = Program::new();
         program.push(Instruction::store(Addr::new(0x9000), 1));
@@ -492,6 +573,7 @@ mod tests {
                 block: blk(0x5000),
                 txn: TxnId(1),
                 requester: CoreId(1),
+                recall: false,
             },
             20,
         );
@@ -529,6 +611,7 @@ mod tests {
                 block: blk(0x1000),
                 txn: TxnId(2),
                 requester: CoreId(1),
+                recall: false,
             },
             20,
         );
@@ -592,6 +675,7 @@ mod tests {
                 block: blk(0x1000),
                 txn: TxnId(2),
                 requester: CoreId(1),
+                recall: false,
             },
             20,
         );

@@ -256,8 +256,11 @@ impl Core {
                 }
                 None
             }
-            Delivery::Invalidate { block, txn, .. } => {
+            Delivery::Invalidate { block, txn, recall, .. } => {
                 self.stats.counters.external_invalidations += 1;
+                if recall {
+                    self.stats.counters.l2_recalls_received += 1;
+                }
                 Some(self.handle_external(block, ExternalKind::Invalidate, txn, now))
             }
             Delivery::Downgrade { block, txn, .. } => {
@@ -819,6 +822,7 @@ mod tests {
                     block: blk(0x4000),
                     txn: TxnId(3),
                     requester: CoreId(1),
+                    recall: false,
                 },
                 5,
             )
@@ -856,6 +860,7 @@ mod tests {
                 block: blk(0x5000),
                 txn: TxnId(1),
                 requester: CoreId(1),
+                recall: false,
             },
             10,
         );

@@ -15,6 +15,9 @@
 //!   block-granularity coalescing buffer used by conventional RMO and
 //!   InvisiFence, and ASO's Scalable Store Buffer.
 //! * [`L1Cache`] — the combination of cache + victim cache used by a core.
+//! * [`BankedL2`] — the shared, banked, address-interleaved L2 whose lines
+//!   embed a caller-supplied directory payload (the coherence fabric embeds
+//!   sharer/owner state in the L2 tags through it).
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@
 
 pub mod cache;
 pub mod l1;
+pub mod l2;
 pub mod line;
 pub mod mshr;
 pub mod spec_bits;
@@ -43,6 +47,7 @@ pub mod victim;
 
 pub use cache::{EvictedLine, SetAssocCache};
 pub use l1::{EvictionAction, L1Cache};
+pub use l2::{BankedL2, L2Evicted, L2FillOutcome, L2Line};
 pub use line::{BlockData, LineState, WORDS_PER_BLOCK};
 pub use mshr::{MshrEntry, MshrError, MshrFile};
 pub use spec_bits::SpecBitArray;

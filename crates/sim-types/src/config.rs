@@ -54,10 +54,16 @@ impl CacheConfig {
     }
 }
 
-/// Parameters of the shared (address-interleaved) L2 and memory behind it.
+/// Parameters of the shared (address-interleaved, banked) L2.
+///
+/// The L2 holds a finite number of blocks: `size_bytes` is split evenly over
+/// one bank per node, and each bank is a `associativity`-way set-associative
+/// array. A `size_bytes` of 0 is the *unbounded* sentinel — the L2 never
+/// evicts, which reproduces the pre-capacity fabric exactly (used by the
+/// equivalence guard and by capacity sweeps as the "infinite" endpoint).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Config {
-    /// Total L2 capacity in bytes (the paper's unified 8 MB).
+    /// Total L2 capacity in bytes (the paper's unified 8 MB); 0 = unbounded.
     pub size_bytes: usize,
     /// Associativity.
     pub associativity: usize,
@@ -65,20 +71,41 @@ pub struct L2Config {
     pub hit_latency: u64,
     /// Outstanding L2 misses.
     pub mshrs: usize,
-    /// Main-memory access latency in cycles (40 ns at 4 GHz = 160 cycles).
-    pub memory_latency: u64,
 }
 
 impl L2Config {
-    /// The paper's unified 8 MB 8-way L2 with 25-cycle hits and 40 ns memory.
+    /// The paper's unified 8 MB 8-way L2 with 25-cycle hits.
     pub fn paper_l2() -> Self {
-        L2Config {
-            size_bytes: 8 * 1024 * 1024,
-            associativity: 8,
-            hit_latency: 25,
-            mshrs: 32,
-            memory_latency: 160,
+        L2Config { size_bytes: 8 * 1024 * 1024, associativity: 8, hit_latency: 25, mshrs: 32 }
+    }
+
+    /// True when this L2 never evicts (the `size_bytes == 0` sentinel).
+    pub fn unbounded(&self) -> bool {
+        self.size_bytes == 0
+    }
+
+    /// Sets per bank for a machine with `banks` nodes and the given block
+    /// size (0 when unbounded).
+    pub fn sets_per_bank(&self, banks: usize, block_bytes: usize) -> usize {
+        if self.unbounded() {
+            return 0;
         }
+        self.size_bytes / (banks.max(1) * self.associativity.max(1) * block_bytes.max(1))
+    }
+}
+
+/// Parameters of the DRAM tier behind the shared L2 (previously overloaded
+/// onto [`L2Config`] as `memory_latency`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Main-memory access latency in cycles (40 ns at 4 GHz = 160 cycles).
+    pub latency: u64,
+}
+
+impl DramConfig {
+    /// The paper's 40 ns memory at 4 GHz.
+    pub fn paper_dram() -> Self {
+        DramConfig { latency: 160 }
     }
 }
 
@@ -138,12 +165,21 @@ pub struct InterconnectConfig {
     pub hop_latency: u64,
     /// Directory/protocol-controller occupancy per transaction, in cycles.
     pub directory_latency: u64,
+    /// Delay, in cycles, before a request to a busy block is retried at the
+    /// directory (must be non-zero or busy retries would spin in place).
+    pub retry_interval: u64,
 }
 
 impl InterconnectConfig {
     /// The paper's 4×4 torus with 25 ns per hop and a 1 GHz protocol controller.
     pub fn paper_torus() -> Self {
-        InterconnectConfig { mesh_width: 4, mesh_height: 4, hop_latency: 100, directory_latency: 8 }
+        InterconnectConfig {
+            mesh_width: 4,
+            mesh_height: 4,
+            hop_latency: 100,
+            directory_latency: 8,
+            retry_interval: 30,
+        }
     }
 
     /// Number of nodes in the torus.
@@ -228,6 +264,32 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
+    /// Every engine kind the simulator implements, in figure order: the three
+    /// conventional models, InvisiFence-Selective with one and two
+    /// checkpoints, InvisiFence-Continuous with and without
+    /// commit-on-violate, and the ASO baseline. Tests and sweeps that claim
+    /// to cover "all engines" iterate this instead of hand-maintained lists,
+    /// so a new kind cannot be silently skipped.
+    pub fn all() -> [EngineKind; 14] {
+        use ConsistencyModel::*;
+        [
+            EngineKind::Conventional(Sc),
+            EngineKind::Conventional(Tso),
+            EngineKind::Conventional(Rmo),
+            EngineKind::InvisiSelective(Sc),
+            EngineKind::InvisiSelective(Tso),
+            EngineKind::InvisiSelective(Rmo),
+            EngineKind::InvisiSelectiveTwoCkpt(Sc),
+            EngineKind::InvisiSelectiveTwoCkpt(Tso),
+            EngineKind::InvisiSelectiveTwoCkpt(Rmo),
+            EngineKind::InvisiContinuous { commit_on_violate: false },
+            EngineKind::InvisiContinuous { commit_on_violate: true },
+            EngineKind::Aso(Sc),
+            EngineKind::Aso(Tso),
+            EngineKind::Aso(Rmo),
+        ]
+    }
+
     /// The consistency model this engine enforces.
     pub fn model(self) -> ConsistencyModel {
         match self {
@@ -341,8 +403,10 @@ pub struct MachineConfig {
     pub core: CoreConfig,
     /// L1 data-cache parameters.
     pub l1: CacheConfig,
-    /// Shared L2 and memory parameters.
+    /// Shared L2 parameters.
     pub l2: L2Config,
+    /// DRAM tier behind the L2.
+    pub dram: DramConfig,
     /// Store-buffer organization and size.
     pub store_buffer: StoreBufferConfig,
     /// Interconnect parameters.
@@ -384,6 +448,7 @@ impl MachineConfig {
             core: CoreConfig::paper_core(),
             l1: CacheConfig::paper_l1d(),
             l2: L2Config::paper_l2(),
+            dram: DramConfig::paper_dram(),
             store_buffer: engine.default_store_buffer(),
             interconnect: InterconnectConfig::paper_torus(),
             speculation: spec,
@@ -402,12 +467,13 @@ impl MachineConfig {
         cfg.l1.size_bytes = 8 * 1024;
         cfg.l1.victim_entries = 4;
         cfg.l2.size_bytes = 256 * 1024;
-        cfg.l2.memory_latency = 60;
+        cfg.dram.latency = 60;
         cfg.interconnect = InterconnectConfig {
             mesh_width: 2,
             mesh_height: 2,
             hop_latency: 20,
             directory_latency: 4,
+            retry_interval: 30,
         };
         cfg
     }
@@ -434,6 +500,20 @@ impl MachineConfig {
                 self.cores,
                 self.interconnect.nodes()
             )));
+        }
+        if self.interconnect.retry_interval == 0 {
+            return Err(ConfigError::new("retry interval must be non-zero"));
+        }
+        if !self.l2.unbounded() {
+            if self.l2.associativity == 0 {
+                return Err(ConfigError::new("L2 associativity must be non-zero"));
+            }
+            if self.l2.sets_per_bank(self.cores, self.l1.block_bytes) == 0 {
+                return Err(ConfigError::new(format!(
+                    "L2 geometry yields zero sets per bank ({} bytes over {} banks of {}-way {}-byte blocks)",
+                    self.l2.size_bytes, self.cores, self.l2.associativity, self.l1.block_bytes
+                )));
+            }
         }
         if self.store_buffer.entries == 0 {
             return Err(ConfigError::new("store buffer must have at least one entry"));
@@ -494,17 +574,21 @@ impl MachineConfig {
             ),
             (
                 "L2 Cache".to_string(),
-                format!(
-                    "Unified, {} MB {}-way, {}-cycle hit latency, {} MSHRs",
-                    self.l2.size_bytes / (1024 * 1024),
-                    self.l2.associativity,
-                    self.l2.hit_latency,
-                    self.l2.mshrs
-                ),
+                if self.l2.unbounded() {
+                    format!("Unified, unbounded, {}-cycle hit latency", self.l2.hit_latency)
+                } else {
+                    format!(
+                        "Unified, {} MB {}-way, {}-cycle hit latency, {} MSHRs",
+                        self.l2.size_bytes / (1024 * 1024),
+                        self.l2.associativity,
+                        self.l2.hit_latency,
+                        self.l2.mshrs
+                    )
+                },
             ),
             (
                 "Main Memory".to_string(),
-                format!("{}-cycle access latency, {}-byte cache blocks", self.l2.memory_latency, self.l1.block_bytes),
+                format!("{}-cycle access latency, {}-byte cache blocks", self.dram.latency, self.l1.block_bytes),
             ),
             (
                 "Interconnect".to_string(),
@@ -645,24 +729,7 @@ mod tests {
 
     #[test]
     fn engine_labels_roundtrip_through_from_label() {
-        use ConsistencyModel::*;
-        let engines = [
-            EngineKind::Conventional(Sc),
-            EngineKind::Conventional(Tso),
-            EngineKind::Conventional(Rmo),
-            EngineKind::InvisiSelective(Sc),
-            EngineKind::InvisiSelective(Tso),
-            EngineKind::InvisiSelective(Rmo),
-            EngineKind::InvisiSelectiveTwoCkpt(Sc),
-            EngineKind::InvisiSelectiveTwoCkpt(Tso),
-            EngineKind::InvisiSelectiveTwoCkpt(Rmo),
-            EngineKind::InvisiContinuous { commit_on_violate: false },
-            EngineKind::InvisiContinuous { commit_on_violate: true },
-            EngineKind::Aso(Sc),
-            EngineKind::Aso(Tso),
-            EngineKind::Aso(Rmo),
-        ];
-        for engine in engines {
+        for engine in EngineKind::all() {
             assert_eq!(
                 EngineKind::from_label(&engine.label()),
                 Some(engine),
@@ -722,19 +789,49 @@ mod tests {
 
     #[test]
     fn small_test_config_is_valid_for_all_engines() {
-        use ConsistencyModel::*;
-        let engines = [
-            EngineKind::Conventional(Sc),
-            EngineKind::Conventional(Tso),
-            EngineKind::Conventional(Rmo),
-            EngineKind::InvisiSelective(Sc),
-            EngineKind::InvisiSelectiveTwoCkpt(Tso),
-            EngineKind::InvisiContinuous { commit_on_violate: false },
-            EngineKind::InvisiContinuous { commit_on_violate: true },
-            EngineKind::Aso(Sc),
-        ];
-        for e in engines {
+        for e in EngineKind::all() {
             MachineConfig::small_test(e).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn all_engine_kinds_are_distinct_and_complete() {
+        let all = EngineKind::all();
+        let mut labels: Vec<String> = all.iter().map(|e| e.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len(), "engine labels must be unique");
+        // 3 conventional + 3 selective + 3 two-checkpoint + 2 continuous + 3 ASO.
+        assert_eq!(all.len(), 14);
+        assert!(all.iter().any(|e| matches!(e, EngineKind::InvisiContinuous { .. })));
+    }
+
+    #[test]
+    fn l2_and_retry_validation_paths_reject() {
+        assert_rejected("retry interval must be non-zero", |cfg| {
+            cfg.interconnect.retry_interval = 0;
+        });
+        assert_rejected("L2 associativity must be non-zero", |cfg| cfg.l2.associativity = 0);
+        assert_rejected("zero sets per bank", |cfg| {
+            // 16 banks × 8 ways × 64-byte blocks needs at least 8 KB.
+            cfg.l2.size_bytes = 4 * 1024;
+        });
+        // The unbounded sentinel skips geometry checks entirely.
+        let mut cfg = MachineConfig::paper_baseline();
+        cfg.l2.size_bytes = 0;
+        cfg.l2.associativity = 0;
+        cfg.validate().expect("unbounded L2 needs no geometry");
+        assert!(cfg.l2.unbounded());
+        assert_eq!(cfg.l2.sets_per_bank(16, 64), 0);
+    }
+
+    #[test]
+    fn l2_sets_per_bank_matches_paper_geometry() {
+        let cfg = MachineConfig::paper_baseline();
+        // 8 MB over 16 banks of 8 ways × 64-byte blocks = 1024 sets per bank.
+        assert_eq!(cfg.l2.sets_per_bank(cfg.cores, cfg.l1.block_bytes), 1024);
+        assert!(!cfg.l2.unbounded());
+        let small = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Rmo));
+        assert_eq!(small.l2.sets_per_bank(small.cores, small.l1.block_bytes), 128);
     }
 }

@@ -1,0 +1,94 @@
+//! FNV-1a hashing and hash-map aliases for the simulator's hot paths.
+//!
+//! The coherence fabric keys almost everything by small integers (block
+//! numbers, event sequence numbers, transaction ids). `std`'s default SipHash
+//! is keyed and DoS-resistant — properties a deterministic simulator does not
+//! need — and measurably slower on these tiny keys. [`FnvMap`] swaps in the
+//! 64-bit FNV-1a function (the same one `ifence_store` uses for
+//! content-addressed cache keys) while keeping the `HashMap` API, so the
+//! workspace stays zero-dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over a byte string — deterministic across platforms and runs,
+/// unlike `std`'s keyed `DefaultHasher`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A [`Hasher`] running FNV-1a over whatever bytes the key feeds it.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// The [`std::hash::BuildHasher`] for [`FnvMap`] / [`FnvSet`].
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` hashed with FNV-1a (hot-path replacement for the default map).
+pub type FnvMap<K, V> = HashMap<K, V, FnvBuildHasher>;
+
+/// A `HashSet` hashed with FNV-1a.
+pub type FnvSet<K> = HashSet<K, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hasher_agrees_with_the_byte_function() {
+        let mut h = FnvHasher::default();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn map_behaves_like_a_hash_map() {
+        let mut m: FnvMap<u64, u64> = FnvMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&421), Some(&842));
+        assert_eq!(m.remove(&421), Some(842));
+        assert!(!m.contains_key(&421));
+
+        let mut s: FnvSet<u64> = FnvSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

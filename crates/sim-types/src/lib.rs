@@ -38,6 +38,7 @@
 pub mod activity;
 pub mod addr;
 pub mod config;
+pub mod fnv;
 pub mod instr;
 pub mod model;
 pub mod source;
@@ -46,9 +47,10 @@ pub mod stall;
 pub use activity::{earliest_wake, CoreActivity};
 pub use addr::{Addr, BlockAddr, CoreId, Cycle, WordOffset};
 pub use config::{
-    CacheConfig, CoreConfig, EngineKind, InterconnectConfig, L2Config, MachineConfig,
+    CacheConfig, CoreConfig, DramConfig, EngineKind, InterconnectConfig, L2Config, MachineConfig,
     SpeculationConfig, StoreBufferConfig,
 };
+pub use fnv::{fnv1a, FnvBuildHasher, FnvMap, FnvSet};
 pub use instr::{FenceKind, InstrKind, Instruction, Program};
 pub use model::{ConsistencyModel, StoreBufferKind};
 pub use source::{BoxedSource, EmptySource, InstructionSource, ProgramSource};

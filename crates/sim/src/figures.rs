@@ -291,6 +291,118 @@ pub fn figure12_in(workloads: &[Workload], ctx: &FigureContext<'_>) -> (FigureDa
     (data, table)
 }
 
+/// The capacity points of the L2 sensitivity sweep, as `(label, bytes)`
+/// pairs ending at the unbounded sentinel. Paper-scale machines sweep around
+/// the paper's 8 MB; the reduced test machine sweeps around its 256 KB.
+pub fn l2_capacity_points(params: &ExperimentParams) -> Vec<(String, usize)> {
+    let mb = 1024 * 1024;
+    let kb = 1024;
+    if params.full_machine {
+        vec![
+            ("2MB".to_string(), 2 * mb),
+            ("4MB".to_string(), 4 * mb),
+            ("8MB".to_string(), 8 * mb),
+            ("16MB".to_string(), 16 * mb),
+            ("unbounded".to_string(), 0),
+        ]
+    } else {
+        vec![
+            ("16KB".to_string(), 16 * kb),
+            ("64KB".to_string(), 64 * kb),
+            ("256KB".to_string(), 256 * kb),
+            ("unbounded".to_string(), 0),
+        ]
+    }
+}
+
+const CAPACITY_ENGINES: [EngineKind; 2] = [
+    EngineKind::Conventional(ConsistencyModel::Rmo),
+    EngineKind::InvisiSelective(ConsistencyModel::Rmo),
+];
+
+/// L2-capacity sensitivity sweep: conventional RMO and InvisiFence-RMO at
+/// every capacity point of [`l2_capacity_points`]. Now that the L2 is a real
+/// finite cache, miss latencies are an *outcome* — this sweep shows runtime,
+/// L2 miss ratio, inclusion recalls and DRAM traffic responding to capacity.
+pub fn l2_capacity_sweep(
+    workloads: &[Workload],
+    params: &ExperimentParams,
+) -> (FigureData, ColumnTable) {
+    l2_capacity_sweep_in(workloads, &FigureContext::new(params))
+}
+
+/// [`l2_capacity_sweep`] under an explicit [`FigureContext`] (cached when the
+/// context carries a store; each capacity point keys its own cells because
+/// the capacity is part of the machine configuration).
+pub fn l2_capacity_sweep_in(
+    workloads: &[Workload],
+    ctx: &FigureContext<'_>,
+) -> (FigureData, ColumnTable) {
+    let points = l2_capacity_points(ctx.params);
+    let mut configs = Vec::new();
+    let mut per_workload: Vec<(String, Vec<RunSummary>)> =
+        workloads.iter().map(|w| (w.name().to_string(), Vec::new())).collect();
+    let mut cache = CacheStats::default();
+    for (label, size) in &points {
+        let mut params = *ctx.params;
+        params.l2_size_override = Some(*size);
+        let sweep =
+            ExperimentMatrix::new(&CAPACITY_ENGINES, workloads).run_cached(&params, ctx.store);
+        if let Some(store) = ctx.store {
+            let manifest = manifest_for_grid(
+                &format!("L2 capacity {label}"),
+                "L2 capacity sweep",
+                &CAPACITY_ENGINES,
+                workloads,
+                &params,
+            );
+            if let Err(err) = store.write_manifest(&manifest) {
+                eprintln!("warning: could not write manifest for L2 capacity {label}: {err}");
+            }
+        }
+        cache.merge(sweep.cache);
+        for engine in CAPACITY_ENGINES {
+            configs.push(format!("{}@{label}", engine.label()));
+        }
+        for (row, (_, runs)) in per_workload.iter_mut().zip(sweep.rows) {
+            row.1.extend(runs);
+        }
+    }
+
+    let mut table = ColumnTable::new([
+        "workload",
+        "L2 capacity",
+        "engine",
+        "cycles",
+        "L2 miss %",
+        "recalls",
+        "DRAM reads",
+        "runtime % of unbounded",
+    ]);
+    let engines_n = CAPACITY_ENGINES.len();
+    for (workload, runs) in &per_workload {
+        for (p, (label, _)) in points.iter().enumerate() {
+            for e in 0..engines_n {
+                let run = &runs[p * engines_n + e];
+                // The unbounded point is always last: the per-engine baseline.
+                let baseline = &runs[(points.len() - 1) * engines_n + e];
+                table.push_row([
+                    workload.clone(),
+                    label.clone(),
+                    run.config.clone(),
+                    run.cycles.to_string(),
+                    format!("{:.1}", 100.0 * run.fabric.l2_miss_ratio()),
+                    run.fabric.l2_recalls.to_string(),
+                    run.fabric.dram_reads.to_string(),
+                    format!("{:.1}", run.normalized_runtime(baseline)),
+                ]);
+            }
+        }
+    }
+    let data = FigureData { figure: "L2 capacity sweep".to_string(), configs, per_workload, cache };
+    (data, table)
+}
+
 /// The whole figure suite in one call: every driver this module implements,
 /// run under one context, returning `(section title, table)` pairs plus the
 /// aggregate cache counters. This is what `ifence figures` and the cache-warm
@@ -318,6 +430,9 @@ pub fn run_all_figures(
     let (data12, table12) = figure12_in(workloads, ctx);
     cache.merge(data12.cache);
     sections.push(("Figure 12: continuous speculation and commit-on-violate".to_string(), table12));
+    let (data_l2, table_l2) = l2_capacity_sweep_in(workloads, ctx);
+    cache.merge(data_l2.cache);
+    sections.push(("L2 capacity sensitivity (finite shared L2 + DRAM tier)".to_string(), table_l2));
     (sections, cache)
 }
 
@@ -419,10 +534,40 @@ mod tests {
     #[test]
     fn run_all_figures_covers_every_section() {
         let (sections, cache) = run_all_figures(&one_workload(), &FigureContext::new(&quick()));
-        assert_eq!(sections.len(), 6);
+        assert_eq!(sections.len(), 7);
         assert!(sections.iter().all(|(_, table)| !table.is_empty()));
-        // 3 (fig1) + 6 (fig8-10) + 3 (fig11) + 5 (fig12) cells, one workload.
-        assert_eq!(cache.total(), 17);
+        // 3 (fig1) + 6 (fig8-10) + 3 (fig11) + 5 (fig12) + 8 (L2 capacity:
+        // 4 points × 2 engines) cells, one workload.
+        assert_eq!(cache.total(), 25);
+    }
+
+    #[test]
+    fn l2_capacity_sweep_shows_capacity_responding() {
+        let params = quick();
+        let (data, table) = l2_capacity_sweep(&one_workload(), &params);
+        let points = l2_capacity_points(&params);
+        assert_eq!(data.configs.len(), points.len() * 2, "two engines per capacity point");
+        assert_eq!(table.len(), points.len() * 2, "one row per (capacity, engine)");
+        let (_, runs) = &data.per_workload[0];
+        // Tightest capacity (first point) versus unbounded (last point),
+        // conventional RMO column: the small L2 must miss at least as often
+        // and run at least as long.
+        let tight = &runs[0];
+        let unbounded = &runs[(points.len() - 1) * 2];
+        assert!(tight.fabric.l2_misses >= unbounded.fabric.l2_misses);
+        assert!(tight.cycles >= unbounded.cycles);
+        assert_eq!(unbounded.fabric.l2_evictions, 0, "unbounded point never evicts");
+    }
+
+    #[test]
+    fn l2_capacity_points_cover_paper_and_test_machines() {
+        let paper = ExperimentParams::default();
+        let points = l2_capacity_points(&paper);
+        assert!(points.iter().any(|(l, s)| l == "8MB" && *s == 8 * 1024 * 1024));
+        assert_eq!(points.last().unwrap().1, 0, "sweeps end at the unbounded sentinel");
+        let small = l2_capacity_points(&quick());
+        assert!(small.len() >= 3);
+        assert_eq!(small.last().unwrap().1, 0);
     }
 
     #[test]

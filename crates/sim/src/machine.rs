@@ -33,7 +33,7 @@
 
 use ifence_coherence::{CoherenceFabric, FabricConfig};
 use ifence_cpu::Core;
-use ifence_stats::{CoreStats, RunSummary};
+use ifence_stats::{CoreStats, FabricStats, RunSummary};
 use ifence_types::{
     earliest_wake, BoxedSource, CoreId, Cycle, CycleClass, MachineConfig, Program, ProgramSource,
 };
@@ -70,6 +70,9 @@ pub struct MachineResult {
     pub deadlock_diagnostic: Option<String>,
     /// Per-core statistics.
     pub per_core: Vec<CoreStats>,
+    /// Memory-hierarchy counters gathered by the coherence fabric (L2
+    /// hits/misses/evictions/recalls, DRAM traffic).
+    pub fabric: FabricStats,
     /// Values observed by each core's retired loads (for litmus checking).
     pub load_results: Vec<Vec<(usize, u64)>>,
     /// The configuration label (engine name) the machine ran under.
@@ -79,7 +82,13 @@ pub struct MachineResult {
 impl MachineResult {
     /// Summarises the run for figure production.
     pub fn summary(&self, workload: impl Into<String>) -> RunSummary {
-        RunSummary::from_cores(self.config_label.clone(), workload, self.cycles, &self.per_core)
+        RunSummary::from_parts(
+            self.config_label.clone(),
+            workload,
+            self.cycles,
+            &self.per_core,
+            self.fabric,
+        )
     }
 }
 
@@ -374,6 +383,7 @@ impl Machine {
             deadlocked,
             deadlock_diagnostic,
             per_core: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            fabric: *self.fabric.stats(),
             load_results: self.cores.iter().map(|c| c.load_results().to_vec()).collect(),
             config_label: self.cfg.engine.label(),
         }
@@ -385,6 +395,7 @@ impl Machine {
     pub fn into_result(mut self, max_cycles: Cycle) -> MachineResult {
         let (finished, deadlocked, deadlock_diagnostic) = self.finalise(max_cycles);
         let config_label = self.cfg.engine.label();
+        let fabric = *self.fabric.stats();
         let (per_core, load_results) = self.cores.into_iter().map(Core::into_parts).unzip();
         MachineResult {
             cycles: self.now,
@@ -392,6 +403,7 @@ impl Machine {
             deadlocked,
             deadlock_diagnostic,
             per_core,
+            fabric,
             load_results,
             config_label,
         }

@@ -8,7 +8,7 @@
 //! diagnostics — such as archiving a litmus run or a deadlock repro.
 
 use crate::machine::MachineResult;
-use ifence_stats::CoreStats;
+use ifence_stats::{CoreStats, FabricStats};
 use ifence_store::{CodecError, Json, JsonCodec};
 
 impl JsonCodec for MachineResult {
@@ -25,6 +25,7 @@ impl JsonCodec for MachineResult {
                 },
             ),
             ("per_core".to_string(), self.per_core.to_json()),
+            ("fabric".to_string(), self.fabric.to_json()),
             (
                 "load_results".to_string(),
                 Json::Array(
@@ -94,6 +95,7 @@ impl JsonCodec for MachineResult {
                 _ => return Err(err("deadlock_diagnostic is not a string or null".into())),
             },
             per_core: Vec::<CoreStats>::from_json(get("per_core")?)?,
+            fabric: FabricStats::from_json(get("fabric")?)?,
             load_results,
             config_label: match get("config_label")? {
                 Json::Str(s) => s.clone(),

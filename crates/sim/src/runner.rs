@@ -29,6 +29,12 @@ pub struct ExperimentParams {
     /// event-driven one that skips quiescent cycles; results are identical,
     /// only slower. Settable with `IFENCE_DENSE=1`.
     pub dense_kernel: bool,
+    /// Override the shared-L2 capacity in bytes (`None` keeps the machine's
+    /// default; `Some(0)` selects the unbounded sentinel). This is how the
+    /// L2-capacity sensitivity sweep varies the cache while sharing every
+    /// other parameter — and since [`ExperimentParams::config_for`] folds it
+    /// into the `MachineConfig`, each capacity gets its own store cache key.
+    pub l2_size_override: Option<usize>,
 }
 
 /// The number of hardware threads available to this process (at least 1).
@@ -79,6 +85,7 @@ impl Default for ExperimentParams {
             full_machine: true,
             parallelism: available_jobs(),
             dense_kernel: false,
+            l2_size_override: None,
         }
     }
 }
@@ -123,6 +130,7 @@ impl ExperimentParams {
             full_machine: false,
             parallelism: available_jobs(),
             dense_kernel: false,
+            l2_size_override: None,
         }
     }
 
@@ -143,6 +151,9 @@ impl ExperimentParams {
         };
         cfg.seed = self.seed;
         cfg.dense_kernel = self.dense_kernel;
+        if let Some(size) = self.l2_size_override {
+            cfg.l2.size_bytes = size;
+        }
         cfg
     }
 }

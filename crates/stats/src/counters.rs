@@ -53,6 +53,10 @@ pub struct SimCounters {
 
     /// External invalidations received by the L1.
     pub external_invalidations: u64,
+    /// Of those, inclusion recalls: invalidations issued because the home
+    /// node's L2 evicted the line (finite-capacity pressure), not because a
+    /// remote core wrote it.
+    pub l2_recalls_received: u64,
     /// External read-downgrades received by the L1.
     pub external_downgrades: u64,
     /// In-window (load-queue) ordering squashes.
@@ -93,6 +97,7 @@ impl SimCounters {
         self.cov_commits += other.cov_commits;
         self.cov_timeouts += other.cov_timeouts;
         self.external_invalidations += other.external_invalidations;
+        self.l2_recalls_received += other.l2_recalls_received;
         self.external_downgrades += other.external_downgrades;
         self.in_window_replays += other.in_window_replays;
         self.coherence_requests += other.coherence_requests;

@@ -30,10 +30,12 @@
 
 pub mod breakdown;
 pub mod counters;
+pub mod fabric;
 pub mod report;
 
 pub use breakdown::{CycleBreakdown, ProvisionalBreakdown};
 pub use counters::SimCounters;
+pub use fabric::FabricStats;
 pub use report::{confidence_interval_95, mean, ColumnTable, RunSummary};
 
 use ifence_types::CycleClass;

@@ -1,7 +1,7 @@
 //! Derived results: run summaries, speedups, confidence intervals and
 //! plain-text tables used by the figure harness.
 
-use crate::{CoreStats, CycleBreakdown, SimCounters};
+use crate::{CoreStats, CycleBreakdown, FabricStats, SimCounters};
 use ifence_types::Cycle;
 use std::fmt;
 
@@ -18,17 +18,33 @@ pub struct RunSummary {
     pub breakdown: CycleBreakdown,
     /// Machine-wide event counters (sum over cores).
     pub counters: SimCounters,
+    /// Shared-L2 / DRAM counters gathered by the coherence fabric.
+    pub fabric: FabricStats,
     /// Fraction of cycles spent speculating (Figure 10).
     pub speculation_fraction: f64,
 }
 
 impl RunSummary {
-    /// Builds a summary from per-core statistics and the run's wall-clock cycles.
+    /// Builds a summary from per-core statistics and the run's wall-clock
+    /// cycles (fabric counters zeroed; prefer [`RunSummary::from_parts`] when
+    /// they are available).
     pub fn from_cores(
         config: impl Into<String>,
         workload: impl Into<String>,
         cycles: Cycle,
         cores: &[CoreStats],
+    ) -> Self {
+        Self::from_parts(config, workload, cycles, cores, FabricStats::default())
+    }
+
+    /// Builds a summary from per-core statistics, the run's wall-clock cycles
+    /// and the fabric's memory-hierarchy counters.
+    pub fn from_parts(
+        config: impl Into<String>,
+        workload: impl Into<String>,
+        cycles: Cycle,
+        cores: &[CoreStats],
+        fabric: FabricStats,
     ) -> Self {
         let mut agg = CoreStats::new();
         for c in cores {
@@ -41,6 +57,7 @@ impl RunSummary {
             cycles,
             breakdown: agg.breakdown,
             counters: agg.counters,
+            fabric,
             speculation_fraction,
         }
     }

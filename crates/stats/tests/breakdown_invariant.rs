@@ -19,26 +19,11 @@ use ifence_sim::{ExperimentParams, Machine};
 use ifence_types::{ConsistencyModel, EngineKind, MachineConfig};
 use ifence_workloads::presets;
 
-fn all_engines() -> Vec<EngineKind> {
-    use ConsistencyModel::*;
-    vec![
-        EngineKind::Conventional(Sc),
-        EngineKind::Conventional(Tso),
-        EngineKind::Conventional(Rmo),
-        EngineKind::InvisiSelective(Sc),
-        EngineKind::InvisiSelective(Tso),
-        EngineKind::InvisiSelective(Rmo),
-        EngineKind::InvisiSelectiveTwoCkpt(Sc),
-        EngineKind::InvisiContinuous { commit_on_violate: false },
-        EngineKind::InvisiContinuous { commit_on_violate: true },
-        EngineKind::Aso(Sc),
-    ]
-}
-
 #[test]
 fn breakdown_buckets_sum_to_executed_cycles_for_every_engine_and_workload() {
     let params = ExperimentParams::quick_test();
-    for engine in all_engines() {
+    // EngineKind::all() so a newly added kind is covered automatically.
+    for engine in EngineKind::all() {
         for workload in presets::all_workloads() {
             let mut cfg = MachineConfig::small_test(engine);
             cfg.seed = params.seed;

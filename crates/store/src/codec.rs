@@ -10,10 +10,11 @@
 //! invalidate old entries instead of misreading them).
 
 use crate::json::Json;
-use ifence_stats::{CoreStats, CycleBreakdown, RunSummary, SimCounters};
+use ifence_stats::{CoreStats, CycleBreakdown, FabricStats, RunSummary, SimCounters};
 use ifence_types::{
-    CacheConfig, ConsistencyModel, CoreConfig, CycleClass, EngineKind, InterconnectConfig,
-    L2Config, MachineConfig, SpeculationConfig, StoreBufferConfig, StoreBufferKind,
+    CacheConfig, ConsistencyModel, CoreConfig, CycleClass, DramConfig, EngineKind,
+    InterconnectConfig, L2Config, MachineConfig, SpeculationConfig, StoreBufferConfig,
+    StoreBufferKind,
 };
 use ifence_workloads::{PhasedWorkload, Workload, WorkloadPhase, WorkloadSpec};
 use std::fmt;
@@ -214,7 +215,6 @@ impl JsonCodec for L2Config {
             ("associativity", us(self.associativity)),
             ("hit_latency", uint(self.hit_latency)),
             ("mshrs", us(self.mshrs)),
-            ("memory_latency", uint(self.memory_latency)),
         ])
     }
 
@@ -225,8 +225,18 @@ impl JsonCodec for L2Config {
             associativity: f.usize("associativity")?,
             hit_latency: f.u64("hit_latency")?,
             mshrs: f.usize("mshrs")?,
-            memory_latency: f.u64("memory_latency")?,
         })
+    }
+}
+
+impl JsonCodec for DramConfig {
+    fn to_json(&self) -> Json {
+        obj(vec![("latency", uint(self.latency))])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, CodecError> {
+        let f = Fields::new(doc, "DramConfig")?;
+        Ok(DramConfig { latency: f.u64("latency")? })
     }
 }
 
@@ -271,6 +281,7 @@ impl JsonCodec for InterconnectConfig {
             ("mesh_height", us(self.mesh_height)),
             ("hop_latency", uint(self.hop_latency)),
             ("directory_latency", uint(self.directory_latency)),
+            ("retry_interval", uint(self.retry_interval)),
         ])
     }
 
@@ -281,6 +292,7 @@ impl JsonCodec for InterconnectConfig {
             mesh_height: f.usize("mesh_height")?,
             hop_latency: f.u64("hop_latency")?,
             directory_latency: f.u64("directory_latency")?,
+            retry_interval: f.u64("retry_interval")?,
         })
     }
 }
@@ -319,6 +331,7 @@ impl JsonCodec for MachineConfig {
             ("core", self.core.to_json()),
             ("l1", self.l1.to_json()),
             ("l2", self.l2.to_json()),
+            ("dram", self.dram.to_json()),
             ("store_buffer", self.store_buffer.to_json()),
             ("interconnect", self.interconnect.to_json()),
             ("speculation", self.speculation.to_json()),
@@ -335,6 +348,7 @@ impl JsonCodec for MachineConfig {
             core: f.decode("core")?,
             l1: f.decode("l1")?,
             l2: f.decode("l2")?,
+            dram: f.decode("dram")?,
             store_buffer: f.decode("store_buffer")?,
             interconnect: f.decode("interconnect")?,
             speculation: f.decode("speculation")?,
@@ -402,6 +416,7 @@ impl JsonCodec for SimCounters {
             ("cov_commits", uint(self.cov_commits)),
             ("cov_timeouts", uint(self.cov_timeouts)),
             ("external_invalidations", uint(self.external_invalidations)),
+            ("l2_recalls_received", uint(self.l2_recalls_received)),
             ("external_downgrades", uint(self.external_downgrades)),
             ("in_window_replays", uint(self.in_window_replays)),
             ("coherence_requests", uint(self.coherence_requests)),
@@ -433,10 +448,38 @@ impl JsonCodec for SimCounters {
             cov_commits: f.u64("cov_commits")?,
             cov_timeouts: f.u64("cov_timeouts")?,
             external_invalidations: f.u64("external_invalidations")?,
+            l2_recalls_received: f.u64("l2_recalls_received")?,
             external_downgrades: f.u64("external_downgrades")?,
             in_window_replays: f.u64("in_window_replays")?,
             coherence_requests: f.u64("coherence_requests")?,
             writebacks: f.u64("writebacks")?,
+        })
+    }
+}
+
+impl JsonCodec for FabricStats {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("l2_hits", uint(self.l2_hits)),
+            ("l2_misses", uint(self.l2_misses)),
+            ("l2_evictions", uint(self.l2_evictions)),
+            ("l2_recalls", uint(self.l2_recalls)),
+            ("dram_reads", uint(self.dram_reads)),
+            ("dram_writebacks", uint(self.dram_writebacks)),
+            ("busy_retries", uint(self.busy_retries)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, CodecError> {
+        let f = Fields::new(doc, "FabricStats")?;
+        Ok(FabricStats {
+            l2_hits: f.u64("l2_hits")?,
+            l2_misses: f.u64("l2_misses")?,
+            l2_evictions: f.u64("l2_evictions")?,
+            l2_recalls: f.u64("l2_recalls")?,
+            dram_reads: f.u64("dram_reads")?,
+            dram_writebacks: f.u64("dram_writebacks")?,
+            busy_retries: f.u64("busy_retries")?,
         })
     }
 }
@@ -460,6 +503,7 @@ impl JsonCodec for RunSummary {
             ("cycles", uint(self.cycles)),
             ("breakdown", self.breakdown.to_json()),
             ("counters", self.counters.to_json()),
+            ("fabric", self.fabric.to_json()),
             ("speculation_fraction", Json::Float(self.speculation_fraction)),
         ])
     }
@@ -472,6 +516,7 @@ impl JsonCodec for RunSummary {
             cycles: f.u64("cycles")?,
             breakdown: f.decode("breakdown")?,
             counters: f.decode("counters")?,
+            fabric: f.decode("fabric")?,
             speculation_fraction: f.f64("speculation_fraction")?,
         })
     }
@@ -651,6 +696,9 @@ mod tests {
         summary.breakdown.add(CycleClass::Busy, 99);
         summary.breakdown.add(CycleClass::Violation, 1);
         summary.counters.instructions_retired = 4_242;
+        summary.fabric.l2_hits = 31;
+        summary.fabric.l2_misses = 17;
+        summary.fabric.l2_recalls = 2;
         roundtrip(&summary);
     }
 

@@ -24,21 +24,16 @@ use ifence_workloads::Workload;
 /// observable behaviour or the serialized layout changes in a way that makes
 /// old entries stale; old entries then simply stop matching instead of being
 /// misread.
-pub const SCHEMA_VERSION: u64 = 1;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x100_0000_01b3;
+///
+/// v2: the memory hierarchy became real — `L2Config` lost `memory_latency`
+/// to the new `DramConfig`, `InterconnectConfig` gained `retry_interval`,
+/// and `RunSummary` gained the fabric's L2/DRAM counters.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// FNV-1a over a byte string (the store's only hash; deterministic across
-/// platforms and runs, unlike `std`'s `DefaultHasher`).
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = FNV_OFFSET;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
+/// platforms and runs, unlike `std`'s `DefaultHasher`). Re-exported from
+/// [`ifence_types::fnv`], which also backs the fabric's hot-path maps.
+pub use ifence_types::fnv::fnv1a;
 
 /// The content-addressed identity of one experiment cell.
 #[derive(Debug, Clone, PartialEq)]

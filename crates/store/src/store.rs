@@ -228,12 +228,16 @@ impl ExperimentStore {
                     continue;
                 }
                 match Self::parse_entry(line) {
-                    Ok((key, summary)) => {
+                    Ok(Some((key, summary))) => {
                         entries.insert(
                             key.hash,
                             Entry { key_json: key.canonical_json().to_string(), summary },
                         );
                     }
+                    // A stale-schema entry is expected after an upgrade, not
+                    // corruption: skip it silently (its key can never match a
+                    // current lookup anyway).
+                    Ok(None) => {}
                     Err(reason) => {
                         eprintln!(
                             "warning: skipping corrupt store entry {}:{}: {reason}",
@@ -247,9 +251,17 @@ impl ExperimentStore {
         Ok(ExperimentStore { root, entries: Mutex::new(entries), tmp_counter: AtomicU64::new(0) })
     }
 
-    fn parse_entry(line: &str) -> Result<(CellKey, RunSummary), String> {
+    /// Parses one shard line. `Ok(None)` means the entry was written under a
+    /// different [`crate::SCHEMA_VERSION`]: it is stale, not corrupt — its
+    /// key can never match a current lookup, and its summary may not even
+    /// decode under the current codec — so the caller drops it without a
+    /// warning.
+    fn parse_entry(line: &str) -> Result<Option<(CellKey, RunSummary)>, String> {
         let doc = Json::parse(line).map_err(|e| e.to_string())?;
         let key_doc = doc.field("key").ok_or("missing key")?;
+        if key_doc.field("schema").and_then(Json::as_u64) != Some(crate::SCHEMA_VERSION) {
+            return Ok(None);
+        }
         let key = CellKey::from_canonical(key_doc.encode());
         let hex = match doc.field("hash") {
             Some(Json::Str(s)) => s.clone(),
@@ -260,7 +272,7 @@ impl ExperimentStore {
         }
         let summary = RunSummary::from_json(doc.field("summary").ok_or("missing summary")?)
             .map_err(|e| e.to_string())?;
-        Ok((key, summary))
+        Ok(Some((key, summary)))
     }
 
     /// The directory this store lives in.
@@ -511,6 +523,31 @@ mod tests {
         std::fs::write(&shard, text).unwrap();
         let store = ExperimentStore::open(&root).unwrap();
         assert_eq!(store.len(), 1, "the valid entry survives, the corrupt line is dropped");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stale_schema_entries_are_dropped_silently() {
+        // An entry written under a previous SCHEMA_VERSION is stale, not
+        // corrupt: it must be skipped on open (its key can never match a
+        // current lookup) without tripping the corrupt-entry path.
+        let root = tmp_root("stale-schema");
+        let key = sample_key(3);
+        {
+            let store = ExperimentStore::open(&root).unwrap();
+            store.put(&key, &sample_summary(10)).unwrap();
+        }
+        let shard = root.join("shards").join(format!("{:02x}.jsonl", (key.hash & 0xff) as u8));
+        let current = std::fs::read_to_string(&shard).unwrap();
+        // Rewrite the line as if written by schema version 1: old-version key
+        // AND an old-shape summary that no longer decodes.
+        let old = current
+            .replace(&format!("\"schema\":{}", crate::SCHEMA_VERSION), "\"schema\":1")
+            .replace("\"fabric\":", "\"pre_v2_field\":");
+        std::fs::write(&shard, format!("{old}{current}")).unwrap();
+        let store = ExperimentStore::open(&root).unwrap();
+        assert_eq!(store.len(), 1, "the current-schema entry survives, the stale one is dropped");
+        assert_eq!(store.get(&key), Some(sample_summary(10)));
         std::fs::remove_dir_all(&root).unwrap();
     }
 

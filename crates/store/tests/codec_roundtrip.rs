@@ -11,11 +11,12 @@
 //! or duplicate cache entries.
 
 use ifence_sim::MachineResult;
-use ifence_stats::{CoreStats, RunSummary};
+use ifence_stats::{CoreStats, FabricStats, RunSummary};
 use ifence_store::{Json, JsonCodec};
 use ifence_types::{
-    CacheConfig, ConsistencyModel, CoreConfig, CycleClass, EngineKind, InterconnectConfig,
-    L2Config, MachineConfig, SpeculationConfig, StoreBufferConfig, StoreBufferKind,
+    CacheConfig, ConsistencyModel, CoreConfig, CycleClass, DramConfig, EngineKind,
+    InterconnectConfig, L2Config, MachineConfig, SpeculationConfig, StoreBufferConfig,
+    StoreBufferKind,
 };
 use ifence_workloads::{PhasedWorkload, TraceRng, Workload, WorkloadPhase, WorkloadSpec};
 
@@ -105,8 +106,8 @@ fn rand_machine(rng: &mut TraceRng) -> MachineConfig {
         associativity: rng.range_usize(1..17),
         hit_latency: rng.range_u64(5..60),
         mshrs: rng.range_usize(1..65),
-        memory_latency: rng.range_u64(40..400),
     };
+    cfg.dram = DramConfig { latency: rng.range_u64(40..400) };
     cfg.store_buffer = StoreBufferConfig {
         kind: [
             StoreBufferKind::FifoWord,
@@ -120,6 +121,7 @@ fn rand_machine(rng: &mut TraceRng) -> MachineConfig {
         mesh_height: rng.range_usize(1..9),
         hop_latency: rng.range_u64(1..200),
         directory_latency: rng.range_u64(1..32),
+        retry_interval: rng.range_u64(1..64),
     };
     cfg.speculation = SpeculationConfig {
         checkpoints: rng.range_usize(1..4),
@@ -153,6 +155,18 @@ fn rand_core_stats(rng: &mut TraceRng) -> CoreStats {
     stats
 }
 
+fn rand_fabric_stats(rng: &mut TraceRng) -> FabricStats {
+    FabricStats {
+        l2_hits: rng.next_u64() >> 24,
+        l2_misses: rng.next_u64() >> 32,
+        l2_evictions: rng.range_u64(0..1_000_000),
+        l2_recalls: rng.range_u64(0..100_000),
+        dram_reads: rng.next_u64() >> 32,
+        dram_writebacks: rng.range_u64(0..1_000_000),
+        busy_retries: rng.range_u64(0..1_000_000),
+    }
+}
+
 fn rand_summary(rng: &mut TraceRng) -> RunSummary {
     let stats = rand_core_stats(rng);
     RunSummary {
@@ -161,6 +175,7 @@ fn rand_summary(rng: &mut TraceRng) -> RunSummary {
         cycles: rng.next_u64(),
         breakdown: stats.breakdown,
         counters: stats.counters,
+        fabric: rand_fabric_stats(rng),
         speculation_fraction: rand_f64(rng),
     }
 }
@@ -173,6 +188,7 @@ fn rand_machine_result(rng: &mut TraceRng) -> MachineResult {
         deadlocked: rng.bool(0.2),
         deadlock_diagnostic: if rng.bool(0.5) { Some(rand_string(rng)) } else { None },
         per_core: (0..cores).map(|_| rand_core_stats(rng)).collect(),
+        fabric: rand_fabric_stats(rng),
         load_results: (0..cores)
             .map(|_| {
                 (0..rng.range_usize(0..8))
@@ -246,6 +262,7 @@ fn every_config_struct_roundtrips_byte_identically() {
         assert_roundtrip(&cfg.core, &format!("CoreConfig[{round}]"));
         assert_roundtrip(&cfg.l1, &format!("CacheConfig[{round}]"));
         assert_roundtrip(&cfg.l2, &format!("L2Config[{round}]"));
+        assert_roundtrip(&cfg.dram, &format!("DramConfig[{round}]"));
         assert_roundtrip(&cfg.store_buffer, &format!("StoreBufferConfig[{round}]"));
         assert_roundtrip(&cfg.interconnect, &format!("InterconnectConfig[{round}]"));
         assert_roundtrip(&cfg.speculation, &format!("SpeculationConfig[{round}]"));

@@ -14,21 +14,10 @@ use invisifence_repro::prelude::*;
 const MAX_CYCLES: u64 = 30_000_000;
 const INSTRUCTIONS: usize = 900;
 
-/// Every engine kind the acceptance criteria name, covering all three
-/// conventional models and every speculative policy.
+/// Every engine kind the simulator implements ([`EngineKind::all`]), so a
+/// newly added kind is held to the equivalence guarantee automatically.
 fn engines() -> Vec<EngineKind> {
-    vec![
-        EngineKind::Conventional(ConsistencyModel::Sc),
-        EngineKind::Conventional(ConsistencyModel::Tso),
-        EngineKind::Conventional(ConsistencyModel::Rmo),
-        EngineKind::InvisiSelective(ConsistencyModel::Sc),
-        EngineKind::InvisiSelective(ConsistencyModel::Tso),
-        EngineKind::InvisiSelective(ConsistencyModel::Rmo),
-        EngineKind::InvisiSelectiveTwoCkpt(ConsistencyModel::Sc),
-        EngineKind::InvisiContinuous { commit_on_violate: false },
-        EngineKind::InvisiContinuous { commit_on_violate: true },
-        EngineKind::Aso(ConsistencyModel::Sc),
-    ]
+    EngineKind::all().to_vec()
 }
 
 fn run_with_kernel(engine: EngineKind, workload: &WorkloadSpec, dense: bool) -> MachineResult {

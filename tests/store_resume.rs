@@ -42,7 +42,9 @@ fn interrupted_figure_run_resumes_and_matches_cold_run_byte_for_byte() {
     let (cold_store, cold_root) = fresh_store("cold");
     let cold_ctx = FigureContext::with_store(&params, &cold_store);
     let (cold_sections, cold_cache) = run_all_figures(&workloads, &cold_ctx);
-    assert_eq!(cold_cache.hits + cold_cache.misses, 17 * workloads.len());
+    // 17 paper-figure cells plus the L2-capacity sweep's 8 (4 capacity
+    // points × 2 engines) per workload.
+    assert_eq!(cold_cache.hits + cold_cache.misses, 25 * workloads.len());
     assert!(cold_cache.misses > 0, "a cold run simulates");
     // Figures share cells (e.g. conventional SC appears in Figures 1, 8 and
     // 12), so even a cold *suite* run gets intra-suite hits.
@@ -108,7 +110,7 @@ fn warm_rerun_of_the_full_suite_performs_zero_simulations() {
 
     let (warm_sections, warm_cache) = run_all_figures(&workloads, &ctx);
     assert_eq!(warm_cache.misses, 0, "a warm re-run must not simulate anything");
-    assert_eq!(warm_cache.hits, 17 * workloads.len(), "every lookup must hit");
+    assert_eq!(warm_cache.hits, 25 * workloads.len(), "every lookup must hit");
     assert!(warm_cache.all_hits());
     assert_eq!(store.len(), entries_after_cold, "a warm run adds no entries");
     for ((_, cold_table), (_, warm_table)) in cold_sections.iter().zip(&warm_sections) {
@@ -117,7 +119,8 @@ fn warm_rerun_of_the_full_suite_performs_zero_simulations() {
 
     // The suite's manifests are all present and resolvable.
     let names = store.manifest_names().unwrap();
-    for expected in ["figure-1", "figures-8-10", "figure-11", "figure-12"] {
+    for expected in ["figure-1", "figures-8-10", "figure-11", "figure-12", "l2-capacity-unbounded"]
+    {
         assert!(names.iter().any(|n| n == expected), "missing manifest {expected}: {names:?}");
         let manifest = store.read_manifest(expected).unwrap().expect("manifest readable");
         store.resolve(&manifest).expect("manifest cells all in store");
