@@ -1,16 +1,18 @@
-//! Microbenchmarks of the paper's hardware structures: the flash-clearable
+//! Microbenchmarks of the paper's hardware structures — the flash-clearable
 //! speculative bits (Figure 3's functional contract), the coalescing store
-//! buffer, the L1 tag array, and the directory.
+//! buffer, the L1 tag array, and the directory — plus the flat ring buffer
+//! backing the per-core hot structures, against the `VecDeque` it replaced.
 //!
 //! Timing uses a plain [`std::time::Instant`] loop (the workspace builds
 //! offline, without Criterion): each case is warmed up, then run for a fixed
 //! number of iterations, reporting mean ns/iter.
 
+use std::collections::VecDeque;
 use std::hint::black_box;
 use std::time::Instant;
 
 use ifence_coherence::DirectoryEntry;
-use ifence_mem::{BankedL2, BlockData, LineState, SetAssocCache, SpecBitArray, StoreBuffer};
+use ifence_mem::{BankedL2, BlockData, LineState, Ring, SetAssocCache, SpecBitArray, StoreBuffer};
 use ifence_types::{Addr, BlockAddr, CacheConfig, CoreId, L2Config};
 
 const WARMUP_ITERS: u32 = 20;
@@ -66,6 +68,67 @@ fn bench_store_buffer() {
             let _ = sb.push(Addr::new(i * 8), i, None);
         }
         sb.drain_all().len()
+    });
+}
+
+/// The flat ring backing the per-core hot structures against the
+/// `VecDeque` it replaced, on the two patterns the pipeline actually runs:
+/// head-pop/tail-push churn (dispatch/retire flow through a ROB-sized
+/// window) and an indexed front-to-back scan (the issue stage's walk).
+fn bench_ring_vs_vecdeque() {
+    const CAP: usize = 64;
+    const CHURN: u64 = 4096;
+    bench("ring/churn_push_pop_4096", || {
+        let mut ring: Ring<u64> = Ring::with_capacity(CAP);
+        let mut acc = 0u64;
+        for i in 0..CHURN {
+            if ring.is_full() {
+                acc = acc.wrapping_add(ring.pop_front().unwrap());
+            }
+            ring.push_back(i);
+        }
+        acc
+    });
+    bench("vecdeque/churn_push_pop_4096", || {
+        let mut deque: VecDeque<u64> = VecDeque::with_capacity(CAP);
+        let mut acc = 0u64;
+        for i in 0..CHURN {
+            if deque.len() == CAP {
+                acc = acc.wrapping_add(deque.pop_front().unwrap());
+            }
+            deque.push_back(i);
+        }
+        acc
+    });
+    let mut ring: Ring<u64> = Ring::with_capacity(CAP);
+    let mut deque: VecDeque<u64> = VecDeque::with_capacity(CAP);
+    // Wrap both around their backing storage so the scans pay the
+    // steady-state (non-contiguous) layout, not the freshly-filled one.
+    for i in 0..(CAP as u64 + CAP as u64 / 2) {
+        if ring.is_full() {
+            ring.pop_front();
+            deque.pop_front();
+        }
+        ring.push_back(i);
+        deque.push_back(i);
+    }
+    bench("ring/indexed_scan_64x64", || {
+        let mut acc = 0u64;
+        for _ in 0..64 {
+            for i in 0..ring.len() {
+                acc = acc.wrapping_add(*ring.get(i).unwrap());
+            }
+        }
+        acc
+    });
+    bench("vecdeque/indexed_scan_64x64", || {
+        let mut acc = 0u64;
+        for _ in 0..64 {
+            for i in 0..deque.len() {
+                acc = acc.wrapping_add(*deque.get(i).unwrap());
+            }
+        }
+        acc
     });
 }
 
@@ -125,6 +188,7 @@ fn main() {
     println!("structure microbenchmarks ({MEASURE_ITERS} iterations each)");
     bench_spec_bits();
     bench_store_buffer();
+    bench_ring_vs_vecdeque();
     bench_cache();
     bench_directory();
 }

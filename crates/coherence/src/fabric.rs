@@ -12,6 +12,7 @@
 
 use crate::directory::{home_of, DirectoryEntry, DirectoryState};
 use crate::messages::{CoherenceReqKind, CoherenceRequest, Delivery, SnoopReply, TxnId};
+use crate::slab::Slab;
 use ifence_mem::{BankedL2, BlockData, L2FillOutcome, LineState};
 use ifence_stats::FabricStats;
 use ifence_types::{
@@ -66,7 +67,12 @@ enum EventKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct HeapKey {
     time: Cycle,
+    /// Monotonic issue number: same-cycle events fire in schedule order,
+    /// independent of payload-slot reuse (the derived `Ord` never reaches
+    /// `payload` — `seq` is unique).
     seq: u64,
+    /// Slab id of the event payload in [`CoherenceFabric::payloads`].
+    payload: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,10 +104,15 @@ pub struct CoherenceFabric {
     /// The DRAM tier: backing store for blocks not (or no longer) L2-resident.
     dram: FnvMap<u64, BlockData>,
     heap: BinaryHeap<Reverse<HeapKey>>,
-    payloads: FnvMap<u64, EventKind>,
+    /// Scheduled-event payloads, slab-indexed by `HeapKey::payload`; each
+    /// entry is freed the moment its heap key pops.
+    payloads: Slab<EventKind>,
     next_seq: u64,
-    txns: FnvMap<u64, Txn>,
-    next_txn: u64,
+    /// In-flight transactions, slab-indexed by the id inside [`TxnId`];
+    /// entries are freed eagerly when the transaction finalises, and stale
+    /// ids (late acks) miss on the slot generation exactly as they used to
+    /// miss in the old id map.
+    txns: Slab<Txn>,
     deferred_acks: u64,
     total_transactions: u64,
     stats: FabricStats,
@@ -116,10 +127,9 @@ impl CoherenceFabric {
             l2,
             dram: FnvMap::default(),
             heap: BinaryHeap::new(),
-            payloads: FnvMap::default(),
+            payloads: Slab::new(),
             next_seq: 0,
-            txns: FnvMap::default(),
-            next_txn: 0,
+            txns: Slab::new(),
             deferred_acks: 0,
             total_transactions: 0,
             stats: FabricStats::new(),
@@ -183,10 +193,10 @@ impl CoherenceFabric {
     }
 
     fn schedule(&mut self, time: Cycle, kind: EventKind) {
+        let payload = self.payloads.insert(kind);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(HeapKey { time, seq }));
-        self.payloads.insert(seq, kind);
+        self.heap.push(Reverse(HeapKey { time, seq, payload }));
     }
 
     fn latency(&self, from: CoreId, to: CoreId) -> u64 {
@@ -236,26 +246,21 @@ impl CoherenceFabric {
     pub fn request(&mut self, req: CoherenceRequest, now: Cycle) {
         match req.kind {
             CoherenceReqKind::GetS | CoherenceReqKind::GetM => {
-                let id = self.next_txn;
-                self.next_txn += 1;
                 self.total_transactions += 1;
                 let kind = if matches!(req.kind, CoherenceReqKind::GetS) {
                     TxnKind::GetS
                 } else {
                     TxnKind::GetM
                 };
-                self.txns.insert(
-                    id,
-                    Txn {
-                        requester: req.core,
-                        block: req.block,
-                        kind,
-                        pending_acks: 0,
-                        data_ready_at: now,
-                        grant_exclusive: false,
-                        fill_scheduled: false,
-                    },
-                );
+                let id = self.txns.insert(Txn {
+                    requester: req.core,
+                    block: req.block,
+                    kind,
+                    pending_acks: 0,
+                    data_ready_at: now,
+                    grant_exclusive: false,
+                    fill_scheduled: false,
+                });
                 let home = self.home(req.block);
                 let arrive = now + self.latency(req.core, home) + self.cfg.directory_latency;
                 self.schedule(arrive, EventKind::DirAccess(id));
@@ -341,20 +346,15 @@ impl CoherenceFabric {
             line.dir.holders()
         };
         debug_assert!(!holders.is_empty(), "recalls target lines with L1 holders");
-        let id = self.next_txn;
-        self.next_txn += 1;
-        self.txns.insert(
-            id,
-            Txn {
-                requester: home,
-                block,
-                kind: TxnKind::Recall,
-                pending_acks: holders.len(),
-                data_ready_at: now,
-                grant_exclusive: false,
-                fill_scheduled: false,
-            },
-        );
+        let id = self.txns.insert(Txn {
+            requester: home,
+            block,
+            kind: TxnKind::Recall,
+            pending_acks: holders.len(),
+            data_ready_at: now,
+            grant_exclusive: false,
+            fill_scheduled: false,
+        });
         self.stats.l2_recalls += 1;
         for holder in holders {
             let deliver_at = now + self.latency(home, holder);
@@ -372,7 +372,7 @@ impl CoherenceFabric {
     }
 
     fn process_dir_access(&mut self, id: u64, now: Cycle) {
-        let (block, requester, kind) = match self.txns.get(&id) {
+        let (block, requester, kind) = match self.txns.get(id) {
             Some(t) => (t.block, t.requester, t.kind),
             None => return,
         };
@@ -410,14 +410,14 @@ impl CoherenceFabric {
                                 requester,
                             }),
                         );
-                        if let Some(t) = self.txns.get_mut(&id) {
+                        if let Some(t) = self.txns.get_mut(id) {
                             t.pending_acks = 1;
                             t.data_ready_at = now + data_lat;
                         }
                     }
                     None => {
                         let grant_exclusive = dir.is_uncached();
-                        if let Some(t) = self.txns.get_mut(&id) {
+                        if let Some(t) = self.txns.get_mut(id) {
                             t.grant_exclusive = grant_exclusive;
                             t.data_ready_at = now + data_lat;
                         }
@@ -445,7 +445,7 @@ impl CoherenceFabric {
                         }),
                     );
                 }
-                if let Some(t) = self.txns.get_mut(&id) {
+                if let Some(t) = self.txns.get_mut(id) {
                     t.pending_acks = holders.len();
                     // An upgrade needs no data; otherwise fetch from L2/DRAM
                     // in parallel with the invalidations.
@@ -462,7 +462,7 @@ impl CoherenceFabric {
 
     fn schedule_fill(&mut self, id: u64, now: Cycle) {
         let (requester, block, kind, data_ready, grant_exclusive) = {
-            let t = match self.txns.get_mut(&id) {
+            let t = match self.txns.get_mut(id) {
                 Some(t) => t,
                 None => return,
             };
@@ -501,7 +501,7 @@ impl CoherenceFabric {
     }
 
     fn finalize_fill(&mut self, id: u64) {
-        let t = match self.txns.remove(&id) {
+        let t = match self.txns.remove(id) {
             Some(t) => t,
             None => return,
         };
@@ -524,7 +524,7 @@ impl CoherenceFabric {
     /// line leaves the L2 and its data (dirtied by any holder's writeback)
     /// lands in DRAM.
     fn finalize_recall(&mut self, id: u64) {
-        let Some(t) = self.txns.remove(&id) else { return };
+        let Some(t) = self.txns.remove(id) else { return };
         debug_assert_eq!(t.kind, TxnKind::Recall);
         if let Some(ev) = self.l2.remove(t.block.number()) {
             self.stats.l2_evictions += 1;
@@ -543,7 +543,7 @@ impl CoherenceFabric {
             }
             SnoopReply::Ack { core, txn, dirty_data } => {
                 let id = txn.0;
-                let (block, kind) = match self.txns.get(&id) {
+                let (block, kind) = match self.txns.get(id) {
                     Some(t) => (t.block, t.kind),
                     None => return,
                 };
@@ -555,7 +555,7 @@ impl CoherenceFabric {
                 }
                 let ack_arrives = now + self.latency(core, home);
                 let ready = {
-                    let t = self.txns.get_mut(&id).expect("transaction exists");
+                    let t = self.txns.get_mut(id).expect("transaction exists");
                     t.pending_acks = t.pending_acks.saturating_sub(1);
                     t.pending_acks == 0
                 };
@@ -580,7 +580,7 @@ impl CoherenceFabric {
                 break;
             }
             self.heap.pop();
-            let kind = match self.payloads.remove(&key.seq) {
+            let kind = match self.payloads.remove(key.payload) {
                 Some(k) => k,
                 None => continue,
             };

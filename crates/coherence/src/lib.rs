@@ -48,6 +48,7 @@
 pub mod directory;
 pub mod fabric;
 pub mod messages;
+mod slab;
 
 pub use directory::{home_of, DirectoryEntry, DirectoryState};
 pub use fabric::{CoherenceFabric, FabricConfig};

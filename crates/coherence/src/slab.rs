@@ -1,0 +1,207 @@
+//! A generation-indexed slab arena for in-flight fabric state.
+//!
+//! The fabric used to key its in-flight transactions and scheduled event
+//! payloads by monotonically increasing `u64` ids in FNV hash maps. Both
+//! populations are small (bounded by MSHRs × cores plus the messages in
+//! flight) but the lookups sit on the hottest simulator path — every
+//! directory access, snoop reply and delivery resolves at least one id. A
+//! slab turns each of those lookups into an array index.
+//!
+//! Entries are freed **eagerly** the moment a transaction or event
+//! completes, and each slot carries a generation counter that is bumped on
+//! free. An id encodes `(generation << 32) | slot`, so a stale id — one
+//! kept by a late acknowledgement after its transaction already finalised —
+//! can never alias a recycled slot: its generation no longer matches and the
+//! lookup returns `None`, exactly as the old map lookup missed. Debug builds
+//! additionally assert that any mismatching id is genuinely *older* than the
+//! slot's current generation, which would catch id corruption (an id from
+//! the future) immediately.
+
+/// A slab arena handing out generation-tagged `u64` ids (see the module
+/// documentation).
+#[derive(Debug, Clone)]
+pub(crate) struct Slab<T> {
+    /// Slot storage; `None` marks a free slot awaiting reuse.
+    slots: Vec<Option<T>>,
+    /// Per-slot generation, bumped every time the slot is freed.
+    gens: Vec<u32>,
+    /// Free list of slot indices (LIFO: hot slots are reused first).
+    free: Vec<u32>,
+    /// Number of occupied slots.
+    live: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab { slots: Vec::new(), gens: Vec::new(), free: Vec::new(), live: 0 }
+    }
+}
+
+/// Splits an id into `(slot, generation)`.
+fn decode(id: u64) -> (usize, u32) {
+    ((id & 0xffff_ffff) as usize, (id >> 32) as u32)
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entries are live.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a value, returning its generation-tagged id.
+    pub(crate) fn insert(&mut self, value: T) -> u64 {
+        self.live += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(value);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                assert!(slot < u32::MAX, "slab slot index overflow");
+                self.slots.push(Some(value));
+                self.gens.push(0);
+                slot
+            }
+        };
+        (u64::from(self.gens[slot as usize]) << 32) | u64::from(slot)
+    }
+
+    /// The entry for `id`, or `None` if it was already freed (a stale id
+    /// never resolves to a recycled slot — the generation rules it out).
+    pub(crate) fn get(&self, id: u64) -> Option<&T> {
+        let (slot, gen) = decode(id);
+        if self.gens.get(slot) != Some(&gen) {
+            self.debug_check_stale(slot, gen);
+            return None;
+        }
+        self.slots[slot].as_ref()
+    }
+
+    /// Mutable access to the entry for `id`, with the same staleness rules
+    /// as [`Slab::get`].
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let (slot, gen) = decode(id);
+        if self.gens.get(slot) != Some(&gen) {
+            self.debug_check_stale(slot, gen);
+            return None;
+        }
+        self.slots[slot].as_mut()
+    }
+
+    /// Removes and returns the entry for `id`, freeing its slot eagerly: the
+    /// generation is bumped (invalidating every outstanding copy of this id)
+    /// and the slot goes to the front of the free list for reuse.
+    pub(crate) fn remove(&mut self, id: u64) -> Option<T> {
+        let (slot, gen) = decode(id);
+        if self.gens.get(slot) != Some(&gen) {
+            self.debug_check_stale(slot, gen);
+            return None;
+        }
+        let value = self.slots[slot].take()?;
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot as u32);
+        self.live -= 1;
+        Some(value)
+    }
+
+    /// A mismatching id must be *stale* — its generation strictly older than
+    /// the slot's current one. Anything else (an unknown slot, a generation
+    /// from the future) is id corruption, rejected loudly in debug builds.
+    fn debug_check_stale(&self, slot: usize, gen: u32) {
+        debug_assert!(
+            self.gens.get(slot).is_some_and(|&current| gen < current),
+            "slab id names slot {slot} generation {gen}, which was never issued \
+             (slot has {:?} generations)",
+            self.gens.get(slot)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        *slab.get_mut(a).unwrap() = "a2";
+        assert_eq!(slab.remove(a), Some("a2"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.remove(a), None, "double-free is a no-op");
+        assert_eq!(slab.remove(b), Some("b"));
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn freed_slots_are_reused_with_a_fresh_generation() {
+        let mut slab = Slab::new();
+        let first = slab.insert(1u64);
+        slab.remove(first);
+        let second = slab.insert(2u64);
+        // Eager free: the recycled id names the same slot...
+        assert_eq!(first & 0xffff_ffff, second & 0xffff_ffff);
+        // ...under a new generation, so the ids differ.
+        assert_ne!(first, second);
+        assert_eq!(slab.get(second), Some(&2));
+    }
+
+    #[test]
+    fn stale_ids_are_rejected_after_reuse() {
+        let mut slab = Slab::new();
+        let stale = slab.insert(10u64);
+        slab.remove(stale);
+        let fresh = slab.insert(20u64);
+        // The stale id must not alias the new occupant of its slot.
+        assert_eq!(slab.get(stale), None);
+        assert_eq!(slab.get_mut(stale), None);
+        assert_eq!(slab.remove(stale), None);
+        assert_eq!(slab.get(fresh), Some(&20), "the live entry is untouched");
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never issued")]
+    #[cfg(debug_assertions)]
+    fn ids_from_the_future_panic_in_debug_builds() {
+        let mut slab = Slab::new();
+        let id = slab.insert(1u64);
+        // Forge an id with a generation the slot has not reached yet.
+        let forged = id + (1u64 << 32);
+        let _ = slab.get(forged);
+    }
+
+    #[test]
+    fn live_count_tracks_across_heavy_reuse() {
+        let mut slab = Slab::new();
+        let mut ids = Vec::new();
+        for round in 0..10u64 {
+            for i in 0..8 {
+                ids.push(slab.insert(round * 8 + i));
+            }
+            assert_eq!(slab.len(), ids.len());
+            for id in ids.drain(..) {
+                assert!(slab.remove(id).is_some());
+            }
+            assert!(slab.is_empty());
+        }
+        // Slot storage stayed bounded by the high-water mark, not the total
+        // number of insertions.
+        assert!(slab.slots.len() <= 8);
+    }
+}

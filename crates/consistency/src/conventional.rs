@@ -1,7 +1,7 @@
 //! The conventional SC / TSO / RMO retirement engines.
 
 use ifence_cpu::{OrderingEngine, RetireCtx, RetireOutcome};
-use ifence_types::{Addr, ConsistencyModel, InstrKind, StallReason};
+use ifence_types::{Addr, ConsistencyModel, Cycle, InstrKind, StallReason};
 
 /// A conventional, non-speculative implementation of one consistency model
 /// (Section 2.1 of the paper).
@@ -98,6 +98,12 @@ impl OrderingEngine for ConventionalEngine {
                 }
             }
         }
+    }
+
+    fn next_unbatchable_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Conventional engines never speculate, keep no timers and have a
+        // no-op tick, so their maintenance stage is dead on every cycle.
+        None
     }
 }
 

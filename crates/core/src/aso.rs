@@ -357,6 +357,18 @@ impl OrderingEngine for AsoEngine {
         self.committing_until.filter(|&until| until > now)
     }
 
+    fn next_unbatchable_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.checkpoints.is_empty() && self.committing_until.is_none() {
+            // No atomic sequence in flight and no commit drain pending:
+            // `tick` is a no-op and no timer is set. A retirement that opens
+            // a checkpoint runs through `try_retire` on the batched path
+            // too, and re-arms this gate for the following cycle.
+            None
+        } else {
+            Some(now)
+        }
+    }
+
     fn finalize(&mut self, _mem: &mut CoreMem, stats: &mut CoreStats) {
         if !self.checkpoints.is_empty() {
             stats.counters.speculations_committed += 1;

@@ -298,6 +298,21 @@ impl OrderingEngine for InvisiSelectiveEngine {
         self.kernel.record_cycles(class, cycles, stats);
     }
 
+    fn next_unbatchable_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.kernel.speculating() {
+            // An open episode means tick's opportunistic commit, violation
+            // windows and provisional accounting are all live.
+            Some(now)
+        } else {
+            // Without an episode `tick` is a no-op (try_commit_oldest bails
+            // immediately) and there are no timers. Retirements — including
+            // a fence or load that *starts* an episode — run through
+            // `try_retire` on the batched path too, so they need no term
+            // here; the moment an episode opens, this gate goes live again.
+            None
+        }
+    }
+
     fn finalize(&mut self, mem: &mut CoreMem, stats: &mut CoreStats) {
         self.kernel.finalize(mem, stats);
     }

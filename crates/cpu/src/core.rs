@@ -46,6 +46,12 @@ pub struct Core {
     deferred: Vec<DeferredSnoop>,
     pending_replies: Vec<SnoopReply>,
     load_results: Vec<(usize, u64)>,
+    /// Leading issued prefix: ROB entries `[0, issued_prefix)` are all
+    /// issued, so the batched issue stage starts its scan there instead of
+    /// walking the whole buffer. Maintained by both issue paths and shifted
+    /// by retirement; squashes only truncate the tail, so clamping to the
+    /// current length keeps it sound.
+    issued_prefix: usize,
 }
 
 impl Core {
@@ -90,6 +96,7 @@ impl Core {
             deferred: Vec::new(),
             pending_replies: Vec::new(),
             load_results: Vec::new(),
+            issued_prefix: 0,
         }
     }
 
@@ -216,9 +223,15 @@ impl Core {
         self.next_fetch = resume_at;
         self.retired = resume_at;
         self.load_results.retain(|(idx, _)| *idx < resume_at);
+        // The buffer is empty now; the issued-prefix watermark refers to
+        // positions that no longer exist.
+        self.issued_prefix = 0;
     }
 
     fn apply_engine_actions(&mut self, actions: Vec<EngineAction>) {
+        if actions.is_empty() {
+            return;
+        }
         for action in actions {
             match action {
                 EngineAction::Rollback { resume_at } => self.rollback(resume_at),
@@ -347,6 +360,9 @@ impl Core {
                 self.stats.counters.in_window_replays += 1;
                 self.stats.counters.instructions_squashed += squashed as u64;
                 self.next_fetch = resume_at;
+                // The squash truncated the tail; clamp the fast-path
+                // watermark to the surviving prefix.
+                self.issued_prefix = self.issued_prefix.min(self.rob.len());
             }
         }
     }
@@ -393,15 +409,27 @@ impl Core {
 
     /// Returns true if any instruction issued (state changed).
     fn issue_stage(&mut self, now: Cycle) -> bool {
+        self.issue_stage_from(now, 0)
+    }
+
+    /// The issue scan, starting at position `start` — 0 from [`Core::step`];
+    /// the issued prefix from the batched fast path, which is sound because
+    /// entries below the prefix are all issued (the full scan would skip
+    /// them without reading or writing anything) and unissued memory
+    /// operations consume issue ports in buffer order either way.
+    fn issue_stage_from(&mut self, now: Cycle, start: usize) -> bool {
         let mut issued_any = false;
         let mut mem_ports_used = 0;
+        let mut issued_prefix = None;
         let max_ports = self.cfg.mem_issue_ports;
         let hit_latency = self.l1_hit_latency;
         // Borrow pieces separately so issuing can touch the memory side while
         // iterating the reorder buffer.
         let Core { rob, mem, engine, stats, .. } = self;
         let sb_empty_now = mem.sb_empty();
-        for (position, entry) in rob.iter_mut().enumerate() {
+        let rob_len = rob.len();
+        for position in start..rob_len {
+            let entry = rob.get_mut(position).expect("index below len");
             // A value bound here is immune to later invalidations only if
             // every older instruction has retired AND no older store is still
             // pending in the store buffer (otherwise the binding could expose
@@ -425,6 +453,7 @@ impl Core {
                 }
                 InstrKind::Load(addr) => {
                     if mem_ports_used >= max_ports {
+                        issued_prefix.get_or_insert(position);
                         continue;
                     }
                     mem_ports_used += 1;
@@ -460,6 +489,7 @@ impl Core {
                 }
                 InstrKind::Store(addr, _) => {
                     if mem_ports_used >= max_ports {
+                        issued_prefix.get_or_insert(position);
                         continue;
                     }
                     mem_ports_used += 1;
@@ -471,6 +501,7 @@ impl Core {
                 }
                 InstrKind::Atomic(addr, _) => {
                     if mem_ports_used >= max_ports {
+                        issued_prefix.get_or_insert(position);
                         continue;
                     }
                     mem_ports_used += 1;
@@ -500,7 +531,13 @@ impl Core {
             if entry.issued || entry.block.is_some() != block_known {
                 issued_any = true;
             }
+            if !entry.issued && issued_prefix.is_none() {
+                issued_prefix = Some(position);
+            }
         }
+        // `start` is only ever 0 or the previous prefix, so an untouched
+        // prefix means every entry up to `rob_len` is issued.
+        self.issued_prefix = issued_prefix.unwrap_or(rob_len);
         issued_any
     }
 
@@ -557,6 +594,9 @@ impl Core {
                 }
             }
         }
+        // Retirement pops entries off the head, shifting every position the
+        // issued-prefix watermark refers to.
+        self.issued_prefix = self.issued_prefix.saturating_sub(retired_this_cycle);
         (retired_this_cycle, stall)
     }
 
@@ -659,6 +699,120 @@ impl Core {
         } else {
             CoreActivity::quiescent(class, self.wake_hint(now))
         }
+    }
+
+    /// Admission gate of the batched fast path: true if, right now, the two
+    /// stages [`Core::batch_cycle`] omits relative to [`Core::step`] —
+    /// engine maintenance and deferred-snoop resolution — are provably
+    /// no-ops for this core. Every term is a length check or a trivial
+    /// engine query, so the gate costs a few nanoseconds per attempt:
+    ///
+    /// * a dead engine window ([`OrderingEngine::next_unbatchable_event`]
+    ///   returns `None`) means `tick` does nothing this cycle and no engine
+    ///   timer is pending;
+    /// * no deferred snoops means deferred resolution does nothing, and no
+    ///   pending replies means the reply routing the fast path skips has
+    ///   nothing to route (no deliveries happen inside a core's cycle, so
+    ///   neither can appear mid-cycle);
+    /// * an empty outbox is an invariant at cycle start (every path routes
+    ///   requests in the same cycle that queues them); the term is
+    ///   defensive.
+    ///
+    /// Everything else — misses, drains, retires of any instruction kind,
+    /// even requests queued by the cycle itself — is allowed: the live
+    /// stages run through the same code paths as `step`, and the machine
+    /// loop routes fast-cycle requests exactly as it routes slow-cycle
+    /// ones.
+    fn batch_ready(&mut self, now: Cycle) -> bool {
+        self.deferred.is_empty()
+            && self.pending_replies.is_empty()
+            && !self.mem.requests_pending()
+            && self.engine.next_unbatchable_event(now).is_none()
+    }
+
+    /// Executes one admitted cycle of the batched fast path: exactly
+    /// [`Core::step`] minus the two stages [`Core::batch_ready`] proved
+    /// dead (engine tick, deferred resolution), with one scheduling
+    /// refinement — the issue scan starts at the issued prefix instead of
+    /// position 0, which is behaviour-preserving because every entry below
+    /// the prefix is already issued and would be skipped by the full scan
+    /// without reading or writing anything. All live stages (drain →
+    /// issue → retire → dispatch → release → finalize → attribution) run
+    /// through the same code paths as `step` — `try_retire`, `can_drain`
+    /// and `on_load_issue` included, so engine side effects, stall
+    /// attribution and the returned [`CoreActivity`] are identical and
+    /// results stay byte-identical to the other two kernels.
+    fn batch_cycle(&mut self, now: Cycle) -> CoreActivity {
+        let speculating_before = self.engine.speculating();
+        // An empty buffer makes the drain stage a no-op; skipping the call
+        // avoids its candidate-collection allocation on the hot path.
+        let drained = if self.mem.sb_empty() {
+            0
+        } else {
+            let Core { mem, engine, stats, .. } = self;
+            let drain_limit = self.cfg.sb_drain_per_cycle;
+            mem.drain_store_buffer(drain_limit, now, &mut stats.counters, |epoch| {
+                engine.can_drain(epoch)
+            })
+        };
+        let issued = self.issue_stage_from(now, self.issued_prefix.min(self.rob.len()));
+        let (retired, stall) = self.retire_stage(now);
+        let dispatched = self.dispatch_stage();
+        let frontier = self.engine.rollback_floor().unwrap_or(self.retired).min(self.retired);
+        self.source.release(frontier);
+        let mut finalized = false;
+        if self.engine.speculating()
+            && self.rob.is_empty()
+            && self.mem.sb_empty()
+            && self.trace_done()
+        {
+            let Core { mem, engine, stats, .. } = self;
+            engine.finalize(mem, stats);
+            finalized = true;
+        }
+        let class = if self.finished() {
+            None
+        } else if retired > 0 {
+            Some(CycleClass::Busy)
+        } else {
+            Some(stall.map(|s| s.cycle_class()).unwrap_or(CycleClass::Other))
+        };
+        if let Some(class) = class {
+            let Core { engine, stats, .. } = self;
+            engine.record_cycles(class, 1, stats);
+            if engine.speculating() {
+                stats.counters.cycles_speculating += 1;
+            }
+        }
+        // Mirrors `Core::step`'s progress aggregation; the tick and
+        // deferred-resolution components are the provably-false ones.
+        let progressed = retired > 0
+            || dispatched > 0
+            || issued
+            || drained > 0
+            || finalized
+            || self.engine.speculating() != speculating_before;
+        if progressed {
+            CoreActivity::progressed(retired, class)
+        } else {
+            CoreActivity::quiescent(class, self.wake_hint(now))
+        }
+    }
+
+    /// The per-core batched fast path: executes this core's cycle without
+    /// the stages the [`Core::batch_ready`] proof shows are no-ops, or
+    /// returns `None` if the proof does not hold, in which case the caller
+    /// must run the full [`Core::step`]. A `Some` cycle is byte-identical
+    /// to `step`; like a slow cycle it may queue coherence requests, which
+    /// the caller must route with [`Core::take_requests`] at the same point
+    /// it would for a slow cycle. (It cannot produce replies: those come
+    /// only from delivery handling and deferred resolution, which do not
+    /// run here.)
+    pub fn fast_cycle(&mut self, now: Cycle) -> Option<CoreActivity> {
+        if !self.batch_ready(now) {
+            return None;
+        }
+        Some(self.batch_cycle(now))
     }
 
     /// The earliest future cycle at which this (quiescent) core could act of

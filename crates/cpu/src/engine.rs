@@ -224,6 +224,22 @@ pub trait OrderingEngine {
         None
     }
 
+    /// The earliest future cycle at which this engine's *cycle-start
+    /// maintenance* could do anything — `None` means the engine is a pure
+    /// pass-through until further notice: its `tick` is a no-op and it has
+    /// no pending timer. Under that guarantee [`crate::Core::fast_cycle`]
+    /// may execute the core's cycle without the tick stage; every other
+    /// engine interaction (`try_retire`, `can_drain`, `on_load_issue`, even
+    /// one that starts a speculative episode) still runs through the shared
+    /// stage code, so engine side effects stay exact either way.
+    ///
+    /// The conservative default (`Some(now)`, i.e. "right now") opts an
+    /// engine out of batching entirely; engines must override it only with a
+    /// proof that the window is dead.
+    fn next_unbatchable_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
+
     /// Called once when the simulation ends so any still-provisional state
     /// (an open speculative episode) is folded into the final statistics.
     fn finalize(&mut self, _mem: &mut CoreMem, _stats: &mut CoreStats) {}
@@ -254,6 +270,12 @@ impl OrderingEngine for FreeRetireEngine {
             }
             _ => RetireOutcome::Retired,
         }
+    }
+
+    fn next_unbatchable_event(&self, _now: Cycle) -> Option<Cycle> {
+        // No ordering constraints, no timers, no speculation: always a
+        // pass-through for the batched fast path.
+        None
     }
 }
 

@@ -1,7 +1,7 @@
 //! Reorder buffer: in-flight instruction tracking.
 
+use ifence_mem::Ring;
 use ifence_types::{BlockAddr, Cycle, Instruction};
-use std::collections::VecDeque;
 
 /// One in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,14 +53,16 @@ impl RobEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Rob {
-    capacity: usize,
-    entries: VecDeque<RobEntry>,
+    // Flat ring backing: the capacity is fixed at construction, so in-flight
+    // entries live in a never-reallocated `Vec` addressed by head + length —
+    // the batched kernel's scans walk plain slices, not a rotated deque.
+    entries: Ring<RobEntry>,
 }
 
 impl Rob {
     /// Creates an empty reorder buffer with the given capacity.
     pub fn new(capacity: usize) -> Self {
-        Rob { capacity, entries: VecDeque::with_capacity(capacity) }
+        Rob { entries: Ring::with_capacity(capacity) }
     }
 
     /// Number of in-flight instructions.
@@ -75,7 +77,7 @@ impl Rob {
 
     /// Returns true if the buffer cannot accept another instruction.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.entries.is_full()
     }
 
     /// Dispatches an instruction into the buffer.
@@ -83,7 +85,7 @@ impl Rob {
     /// # Panics
     /// Panics if the buffer is full (the core checks before dispatching).
     pub fn push(&mut self, program_index: usize, dispatch_id: u64, instr: Instruction) {
-        assert!(!self.is_full(), "reorder buffer overflow");
+        assert!(!self.entries.is_full(), "reorder buffer overflow");
         self.entries.push_back(RobEntry {
             program_index,
             dispatch_id,
@@ -95,6 +97,18 @@ impl Rob {
             bound_at_head: false,
             loaded_value: None,
         });
+    }
+
+    /// The `index`-th oldest in-flight instruction (0 = head). A flat-ring
+    /// index computation, used by the batched fast path's incremental
+    /// batchability scan.
+    pub fn get(&self, index: usize) -> Option<&RobEntry> {
+        self.entries.get(index)
+    }
+
+    /// Mutable access to the `index`-th oldest in-flight instruction.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut RobEntry> {
+        self.entries.get_mut(index)
     }
 
     /// The oldest in-flight instruction.
@@ -133,9 +147,7 @@ impl Rob {
     /// Discards every instruction at or after `program_index` (partial squash
     /// used by in-window ordering replays), returning how many were discarded.
     pub fn squash_from(&mut self, program_index: usize) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.program_index < program_index);
-        before - self.entries.len()
+        self.entries.retain(|e| e.program_index < program_index)
     }
 
     /// Finds the oldest entry that has performed a read of `block` (used by

@@ -14,6 +14,9 @@
 //!   Figure 5: the word-granularity FIFO used by conventional SC/TSO, the
 //!   block-granularity coalescing buffer used by conventional RMO and
 //!   InvisiFence, and ASO's Scalable Store Buffer.
+//! * [`Ring`] — the flat fixed-capacity ring buffer (head index + length
+//!   over a never-reallocated `Vec`) backing the per-core hot structures:
+//!   the reorder buffer and the FIFO/scalable store buffers.
 //! * [`L1Cache`] — the combination of cache + victim cache used by a core.
 //! * [`BankedL2`] — the shared, banked, address-interleaved L2 whose lines
 //!   embed a caller-supplied directory payload (the coherence fabric embeds
@@ -41,6 +44,7 @@ pub mod l1;
 pub mod l2;
 pub mod line;
 pub mod mshr;
+pub mod ring;
 pub mod spec_bits;
 pub mod store_buffer;
 pub mod victim;
@@ -50,6 +54,7 @@ pub use l1::{EvictionAction, L1Cache};
 pub use l2::{BankedL2, L2Evicted, L2FillOutcome, L2Line};
 pub use line::{BlockData, LineState, WORDS_PER_BLOCK};
 pub use mshr::{MshrEntry, MshrError, MshrFile};
+pub use ring::Ring;
 pub use spec_bits::SpecBitArray;
 pub use store_buffer::{SbEntry, SbError, StoreBuffer};
 pub use victim::VictimCache;

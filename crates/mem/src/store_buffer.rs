@@ -10,8 +10,8 @@
 //!   and drains into the L2 at commit.
 
 use crate::line::{BlockData, WORDS_PER_BLOCK};
+use crate::ring::Ring;
 use ifence_types::{Addr, BlockAddr, StoreBufferConfig, StoreBufferKind};
-use std::collections::VecDeque;
 use std::fmt;
 
 /// Error returned when a store cannot be inserted.
@@ -51,11 +51,15 @@ struct WordStore {
     epoch: Option<u8>,
 }
 
+// The age-ordered organizations sit on the flat [`Ring`] (the hot path of
+// conventional SC/TSO drains and forwards through them every cycle); the
+// coalescing buffer is a small unordered set, for which a plain `Vec` is
+// already flat.
 #[derive(Debug, Clone)]
 enum Organization {
-    Fifo(VecDeque<WordStore>),
+    Fifo(Ring<WordStore>),
     Coalescing(Vec<SbEntry>),
-    Scalable(VecDeque<WordStore>),
+    Scalable(Ring<WordStore>),
 }
 
 /// A store buffer in one of the three organizations used by the paper.
@@ -95,7 +99,7 @@ impl StoreBuffer {
             kind: StoreBufferKind::FifoWord,
             capacity,
             block_bytes,
-            organization: Organization::Fifo(VecDeque::new()),
+            organization: Organization::Fifo(Ring::with_capacity(capacity)),
         }
     }
 
@@ -115,7 +119,7 @@ impl StoreBuffer {
             kind: StoreBufferKind::Scalable,
             capacity,
             block_bytes,
-            organization: Organization::Scalable(VecDeque::new()),
+            organization: Organization::Scalable(Ring::with_capacity(capacity)),
         }
     }
 
@@ -303,11 +307,7 @@ impl StoreBuffer {
             Some(e) => e < min_epoch,
         };
         match &mut self.organization {
-            Organization::Fifo(q) | Organization::Scalable(q) => {
-                let before = q.len();
-                q.retain(|s| keep(s.epoch));
-                before - q.len()
-            }
+            Organization::Fifo(q) | Organization::Scalable(q) => q.retain(|s| keep(s.epoch)),
             Organization::Coalescing(v) => {
                 let before = v.len();
                 v.retain(|e| keep(e.epoch));
@@ -356,11 +356,7 @@ impl StoreBuffer {
     pub fn flash_invalidate_exact(&mut self, epoch: u8) -> usize {
         let keep = |e: Option<u8>| e != Some(epoch);
         match &mut self.organization {
-            Organization::Fifo(q) | Organization::Scalable(q) => {
-                let before = q.len();
-                q.retain(|s| keep(s.epoch));
-                before - q.len()
-            }
+            Organization::Fifo(q) | Organization::Scalable(q) => q.retain(|s| keep(s.epoch)),
             Organization::Coalescing(v) => {
                 let before = v.len();
                 v.retain(|e| keep(e.epoch));

@@ -422,6 +422,14 @@ pub struct MachineConfig {
     /// kernels produce byte-identical results; the dense loop survives as a
     /// debug reference (also selectable at run time with `IFENCE_DENSE=1`).
     pub dense_kernel: bool,
+    /// Allow the batched execution fast path on top of the event-driven
+    /// kernel: when a single core is awake and its ordering engine reports a
+    /// dead window, runs of non-memory/L1-hit instructions retire in a tight
+    /// loop without per-cycle machine bookkeeping. Batching never changes
+    /// simulated results — all three kernel modes are byte-identical — so it
+    /// defaults to on; `IFENCE_BATCH=0` disables it at run time (the dense
+    /// kernel always ignores it).
+    pub batch_kernel: bool,
 }
 
 impl MachineConfig {
@@ -455,6 +463,7 @@ impl MachineConfig {
             engine,
             seed: 0x1f3c_e5ee_d00d,
             dense_kernel: false,
+            batch_kernel: true,
         }
     }
 

@@ -29,6 +29,10 @@ pub struct ExperimentParams {
     /// event-driven one that skips quiescent cycles; results are identical,
     /// only slower. Settable with `IFENCE_DENSE=1`.
     pub dense_kernel: bool,
+    /// Enable the batched execution fast path (on by default; results are
+    /// identical either way, only the wall-clock time changes). Disable with
+    /// `IFENCE_BATCH=0`; ignored when the dense kernel is forced.
+    pub batch_kernel: bool,
     /// Override the shared-L2 capacity in bytes (`None` keeps the machine's
     /// default; `Some(0)` selects the unbounded sentinel). This is how the
     /// L2-capacity sensitivity sweep varies the cache while sharing every
@@ -85,6 +89,7 @@ impl Default for ExperimentParams {
             full_machine: true,
             parallelism: available_jobs(),
             dense_kernel: false,
+            batch_kernel: true,
             l2_size_override: None,
         }
     }
@@ -117,6 +122,16 @@ impl ExperimentParams {
             }),
             None => false,
         };
+        params.batch_kernel = match lookup("IFENCE_BATCH") {
+            Some(raw) => crate::machine::parse_dense_flag(&raw).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: ignoring unparseable IFENCE_BATCH={raw:?} (expected 0/1); \
+                     using the default"
+                );
+                true
+            }),
+            None => true,
+        };
         params
     }
 
@@ -130,6 +145,7 @@ impl ExperimentParams {
             full_machine: false,
             parallelism: available_jobs(),
             dense_kernel: false,
+            batch_kernel: true,
             l2_size_override: None,
         }
     }
@@ -151,6 +167,7 @@ impl ExperimentParams {
         };
         cfg.seed = self.seed;
         cfg.dense_kernel = self.dense_kernel;
+        cfg.batch_kernel = self.batch_kernel;
         if let Some(size) = self.l2_size_override {
             cfg.l2.size_bytes = size;
         }
@@ -254,19 +271,24 @@ mod tests {
         let env = |name: &str| match name {
             "IFENCE_JOBS" => Some("3".to_string()),
             "IFENCE_DENSE" => Some("yes".to_string()),
+            "IFENCE_BATCH" => Some("0".to_string()),
             _ => None,
         };
         let p = ExperimentParams::from_env_with(&env);
         assert_eq!(p.parallelism, 3);
         assert!(p.dense_kernel);
+        assert!(!p.batch_kernel);
         let unset = ExperimentParams::from_env_with(&|_| None);
         assert_eq!(unset, ExperimentParams::default());
+        assert!(unset.batch_kernel, "batching is on by default");
     }
 
     #[test]
     fn unparseable_dense_flag_falls_back() {
         let env = |name: &str| (name == "IFENCE_DENSE").then(|| "maybe".to_string());
         assert!(!ExperimentParams::from_env_with(&env).dense_kernel);
+        let env = |name: &str| (name == "IFENCE_BATCH").then(|| "maybe".to_string());
+        assert!(ExperimentParams::from_env_with(&env).batch_kernel, "falls back to on");
     }
 
     #[test]

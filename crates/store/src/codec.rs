@@ -338,6 +338,7 @@ impl JsonCodec for MachineConfig {
             ("engine", self.engine.to_json()),
             ("seed", uint(self.seed)),
             ("dense_kernel", Json::Bool(self.dense_kernel)),
+            ("batch_kernel", Json::Bool(self.batch_kernel)),
         ])
     }
 
@@ -355,6 +356,7 @@ impl JsonCodec for MachineConfig {
             engine: f.decode("engine")?,
             seed: f.u64("seed")?,
             dense_kernel: f.bool("dense_kernel")?,
+            batch_kernel: f.bool("batch_kernel")?,
         })
     }
 }

@@ -6,10 +6,10 @@
 //! buffer, speculation policy, latencies, seed), the workload recipe, the
 //! trace budget and the cycle limit, plus [`SCHEMA_VERSION`]. Anything
 //! *proven* not to affect results is normalized out: the kernel mode
-//! (`dense_kernel`, byte-identical by `tests/kernel_equivalence.rs`) and the
-//! sweep parallelism (never part of the config) do not reach the hash, so a
-//! dense-mode debug run and an event-driven production run share cache
-//! entries.
+//! (`dense_kernel` / `batch_kernel`, byte-identical by
+//! `tests/kernel_equivalence.rs`) and the sweep parallelism (never part of
+//! the config) do not reach the hash, so dense-mode debug runs, event-driven
+//! runs and batched runs all share cache entries.
 //!
 //! The full key JSON is stored alongside each entry and compared on lookup,
 //! so a 64-bit hash collision degrades to a cache miss, never to a wrong
@@ -28,7 +28,11 @@ use ifence_workloads::Workload;
 /// v2: the memory hierarchy became real — `L2Config` lost `memory_latency`
 /// to the new `DramConfig`, `InterconnectConfig` gained `retry_interval`,
 /// and `RunSummary` gained the fabric's L2/DRAM counters.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: `MachineConfig` gained `batch_kernel` (serialized layout change; the
+/// flag itself is normalized out of keys like `dense_kernel`, because all
+/// three kernel modes are byte-identical).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// FNV-1a over a byte string (the store's only hash; deterministic across
 /// platforms and runs, unlike `std`'s `DefaultHasher`). Re-exported from
@@ -48,8 +52,8 @@ pub struct CellKey {
 impl CellKey {
     /// Builds the key for one cell. `machine` must already carry the run's
     /// seed and engine (as produced by the experiment runner); its
-    /// `dense_kernel` flag is normalized to `false` before hashing because
-    /// both kernels produce byte-identical results.
+    /// `dense_kernel` and `batch_kernel` flags are normalized before hashing
+    /// because all three kernel modes produce byte-identical results.
     pub fn new(
         machine: &MachineConfig,
         workload: &Workload,
@@ -58,6 +62,7 @@ impl CellKey {
     ) -> Self {
         let mut machine = machine.clone();
         machine.dense_kernel = false;
+        machine.batch_kernel = true;
         let doc = Json::Object(vec![
             ("schema".to_string(), Json::UInt(SCHEMA_VERSION)),
             ("machine".to_string(), machine.to_json()),
@@ -135,6 +140,17 @@ mod tests {
         cfg.dense_kernel = true;
         let dense = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
         assert_eq!(sparse, dense, "kernel mode is proven byte-identical; keys must match");
+    }
+
+    #[test]
+    fn batch_kernel_flag_is_normalized_out() {
+        let engine = EngineKind::Conventional(ConsistencyModel::Sc);
+        let mut cfg = MachineConfig::small_test(engine);
+        cfg.seed = 7;
+        let batched = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
+        cfg.batch_kernel = false;
+        let event = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
+        assert_eq!(batched, event, "batching is proven byte-identical; keys must match");
     }
 
     #[test]

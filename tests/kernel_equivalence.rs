@@ -1,12 +1,16 @@
-//! Dense-vs-event-driven kernel equivalence: the event-driven simulation
-//! kernel skips cycles only when they are provably no-ops, so for every
-//! ordering engine and workload the two schedules must produce byte-identical
+//! Three-way kernel equivalence: the event-driven simulation kernel skips
+//! cycles only when they are provably no-ops, and the batched execution fast
+//! path elides a stepped cycle's maintenance stages only when they are
+//! provably dead — so for every ordering engine and workload all three
+//! schedules (dense, event-driven, batched) must produce byte-identical
 //! [`MachineResult`]s — cycle counts, per-core counters, runtime breakdowns
 //! and retired-load values alike.
 //!
-//! This is the safety net for the whole quiescence analysis: any wake hint
-//! that fires too late, any state change the activity report misses, or any
-//! mis-attributed skipped cycle shows up here as a field-level mismatch.
+//! This is the safety net for the whole quiescence analysis and for the
+//! batching contract: any wake hint that fires too late, any state change
+//! the activity report misses, any mis-attributed skipped cycle, or any
+//! fast cycle whose elided stages were not actually dead shows up here as a
+//! field-level mismatch.
 
 use ifence_sim::{Machine, MachineResult};
 use invisifence_repro::prelude::*;
@@ -14,56 +18,91 @@ use invisifence_repro::prelude::*;
 const MAX_CYCLES: u64 = 30_000_000;
 const INSTRUCTIONS: usize = 900;
 
+/// The three kernel schedules held to byte-identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelMode {
+    /// Poll every core every cycle (the debug reference).
+    Dense,
+    /// Skip provably quiescent cycles; no batching.
+    Event,
+    /// Event-driven plus the per-core batched fast path.
+    Batched,
+}
+
+impl KernelMode {
+    const ALL: [KernelMode; 3] = [KernelMode::Dense, KernelMode::Event, KernelMode::Batched];
+
+    fn apply(self, cfg: &mut MachineConfig) {
+        match self {
+            KernelMode::Dense => {
+                cfg.dense_kernel = true;
+                cfg.batch_kernel = false;
+            }
+            KernelMode::Event => {
+                cfg.dense_kernel = false;
+                cfg.batch_kernel = false;
+            }
+            KernelMode::Batched => {
+                cfg.dense_kernel = false;
+                cfg.batch_kernel = true;
+            }
+        }
+    }
+}
+
 /// Every engine kind the simulator implements ([`EngineKind::all`]), so a
 /// newly added kind is held to the equivalence guarantee automatically.
 fn engines() -> Vec<EngineKind> {
     EngineKind::all().to_vec()
 }
 
-fn run_with_kernel(engine: EngineKind, workload: &WorkloadSpec, dense: bool) -> MachineResult {
+fn run_with_kernel(engine: EngineKind, workload: &WorkloadSpec, mode: KernelMode) -> MachineResult {
     let mut cfg = MachineConfig::small_test(engine);
-    cfg.dense_kernel = dense;
+    mode.apply(&mut cfg);
     let programs = workload.generate(cfg.cores, INSTRUCTIONS, cfg.seed);
     Machine::new(cfg, programs).expect("valid config").into_result(MAX_CYCLES)
 }
 
-fn assert_equivalent(engine: EngineKind, workload: &WorkloadSpec) {
-    let dense = run_with_kernel(engine, workload, true);
-    let skipping = run_with_kernel(engine, workload, false);
-    assert!(dense.finished, "{} on {} did not finish", engine.label(), workload.name);
-    // Compare field by field first so a mismatch names the offending part…
+/// Compares one alternative schedule against the dense reference field by
+/// field, so a mismatch names the offending part before the full structural
+/// equality check.
+fn assert_matches_reference(
+    dense: &MachineResult,
+    other: &MachineResult,
+    mode: KernelMode,
+    engine: EngineKind,
+    workload: &str,
+) {
+    let label = engine.label();
     assert_eq!(
-        dense.cycles,
-        skipping.cycles,
-        "{} on {}: cycle counts diverge",
-        engine.label(),
-        workload.name
+        dense.cycles, other.cycles,
+        "{label} on {workload}: {mode:?} cycle count diverges from dense"
     );
-    for (core, (d, s)) in dense.per_core.iter().zip(&skipping.per_core).enumerate() {
+    for (core, (d, o)) in dense.per_core.iter().zip(&other.per_core).enumerate() {
         assert_eq!(
-            d.breakdown,
-            s.breakdown,
-            "{} on {}: core {core} breakdown diverges",
-            engine.label(),
-            workload.name
+            d.breakdown, o.breakdown,
+            "{label} on {workload}: {mode:?} core {core} breakdown diverges"
         );
         assert_eq!(
-            d.counters,
-            s.counters,
-            "{} on {}: core {core} counters diverge",
-            engine.label(),
-            workload.name
+            d.counters, o.counters,
+            "{label} on {workload}: {mode:?} core {core} counters diverge"
         );
     }
     assert_eq!(
-        dense.load_results,
-        skipping.load_results,
-        "{} on {}: retired-load values diverge",
-        engine.label(),
-        workload.name
+        dense.load_results, other.load_results,
+        "{label} on {workload}: {mode:?} retired-load values diverge"
     );
     // …then require full structural equality (finished, deadlocked, label).
-    assert_eq!(dense, skipping, "{} on {}: results diverge", engine.label(), workload.name);
+    assert_eq!(dense, other, "{label} on {workload}: {mode:?} results diverge");
+}
+
+fn assert_equivalent(engine: EngineKind, workload: &WorkloadSpec) {
+    let dense = run_with_kernel(engine, workload, KernelMode::Dense);
+    assert!(dense.finished, "{} on {} did not finish", engine.label(), workload.name);
+    for mode in [KernelMode::Event, KernelMode::Batched] {
+        let other = run_with_kernel(engine, workload, mode);
+        assert_matches_reference(&dense, &other, mode, engine, &workload.name);
+    }
 }
 
 #[test]
@@ -96,9 +135,9 @@ fn litmus_runs_are_equivalent_across_kernels() {
             EngineKind::InvisiContinuous { commit_on_violate: true },
             EngineKind::Aso(ConsistencyModel::Sc),
         ] {
-            let run = |dense: bool| {
+            let run = |mode: KernelMode| {
                 let mut cfg = MachineConfig::small_test(engine);
-                cfg.dense_kernel = dense;
+                mode.apply(&mut cfg);
                 cfg.seed = 1;
                 let mut programs = test.programs().to_vec();
                 while programs.len() < cfg.cores {
@@ -106,9 +145,26 @@ fn litmus_runs_are_equivalent_across_kernels() {
                 }
                 Machine::new(cfg, programs).expect("valid config").into_result(MAX_CYCLES)
             };
-            let (dense, skipping) = (run(true), run(false));
+            let dense = run(KernelMode::Dense);
             assert!(dense.finished, "{} on {name} did not finish", engine.label());
-            assert_eq!(dense, skipping, "{} on {name}: results diverge", engine.label());
+            for mode in [KernelMode::Event, KernelMode::Batched] {
+                let other = run(mode);
+                assert_eq!(dense, other, "{} on {name}: {mode:?} results diverge", engine.label());
+            }
         }
+    }
+}
+
+#[test]
+fn all_three_modes_are_distinct_configurations() {
+    // Guard against the modes silently collapsing into one another (e.g. a
+    // future refactor making batch_kernel imply dense_kernel).
+    let mut seen = Vec::new();
+    for mode in KernelMode::ALL {
+        let mut cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
+        mode.apply(&mut cfg);
+        let fingerprint = (cfg.dense_kernel, cfg.batch_kernel);
+        assert!(!seen.contains(&fingerprint), "{mode:?} duplicates another mode");
+        seen.push(fingerprint);
     }
 }
