@@ -52,4 +52,4 @@ mod slab;
 
 pub use directory::{home_of, DirectoryEntry, DirectoryState};
 pub use fabric::{CoherenceFabric, FabricConfig};
-pub use messages::{CoherenceReqKind, CoherenceRequest, Delivery, SnoopReply, TxnId};
+pub use messages::{CoherenceReqKind, CoherenceRequest, Delivery, FabricInput, SnoopReply, TxnId};

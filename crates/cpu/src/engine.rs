@@ -109,7 +109,10 @@ impl RetireCtx<'_> {
 }
 
 /// A memory-consistency implementation plugged into a [`crate::Core`].
-pub trait OrderingEngine {
+///
+/// Engines are plain timing state and must be [`Send`] so a whole core can
+/// migrate into an epoch-parallel worker thread.
+pub trait OrderingEngine: Send {
     /// Human-readable label (matches the paper's bar labels, e.g. "Invisi_rmo").
     fn name(&self) -> String;
 

@@ -35,7 +35,7 @@ pub mod engine;
 pub mod mem_side;
 pub mod rob;
 
-pub use crate::core::Core;
+pub use crate::core::{Core, CoreSleep, EpochStepReport};
 pub use engine::{
     DeferResolution, EngineAction, ExternalKind, ExternalOutcome, OrderingEngine, RetireCtx,
     RetireOutcome,

@@ -46,12 +46,22 @@
 //! progress again, and the machine stops immediately with
 //! [`MachineResult::deadlocked`] set and a per-core diagnostic instead of
 //! spinning to the cycle limit.
+//!
+//! A fourth level, **epoch parallelism** (`crate::epoch`), steps one
+//! machine's cores across threads: with [`MachineConfig::machine_threads`]
+//! `>= 2` (or `IFENCE_THREADS`), the run loop partitions the cores over
+//! `std::thread::scope` workers, each of which steps its cores independently
+//! up to a safe horizon below which no cross-core interaction can land
+//! ([`ifence_coherence::CoherenceFabric::next_interaction_bound`]), then
+//! merges every worker's buffered fabric traffic back in the exact serial
+//! order — so results stay byte-identical to the serial kernels at any
+//! thread count. The dense debug mode always runs serially.
 
-use ifence_coherence::{CoherenceFabric, FabricConfig};
-use ifence_cpu::Core;
+use ifence_coherence::{CoherenceFabric, CoherenceRequest, Delivery, FabricConfig, SnoopReply};
+use ifence_cpu::{Core, CoreSleep};
 use ifence_stats::{CoreStats, FabricStats, RunSummary};
 use ifence_types::{
-    earliest_wake, BoxedSource, CoreId, Cycle, CycleClass, MachineConfig, Program, ProgramSource,
+    earliest_wake, BoxedSource, CoreId, Cycle, MachineConfig, Program, ProgramSource,
 };
 use invisifence::build_engine;
 use std::fmt;
@@ -113,9 +123,9 @@ impl MachineResult {
 /// documentation).
 pub struct Machine {
     cfg: MachineConfig,
-    cores: Vec<Core>,
-    fabric: CoherenceFabric,
-    now: Cycle,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) fabric: CoherenceFabric,
+    pub(crate) now: Cycle,
     /// Dense (poll-every-cycle) debug mode, resolved once at construction
     /// from the configuration flag and the `IFENCE_DENSE` environment
     /// variable.
@@ -123,24 +133,20 @@ pub struct Machine {
     /// Batched execution fast path (see the module documentation), resolved
     /// once at construction from [`MachineConfig::batch_kernel`] and the
     /// `IFENCE_BATCH` environment variable. Always false in dense mode.
-    batch: bool,
+    pub(crate) batch: bool,
+    /// Worker-thread count of the epoch-parallel kernel, resolved once at
+    /// construction from [`MachineConfig::machine_threads`] and the
+    /// `IFENCE_THREADS` environment variable, clamped to the core count.
+    /// `1` = the serial kernels; dense mode always forces 1.
+    pub(crate) threads: usize,
     /// Per-core sleep state: `Some` while the core is quiescent and need not
     /// be stepped (see the module documentation).
-    sleeping: Vec<Option<CoreSleep>>,
-}
-
-/// Sleep record of one quiescent core.
-#[derive(Debug, Clone, Copy)]
-struct CoreSleep {
-    /// First cycle the sleeping core was *not* stepped (its stall cycles
-    /// from here are attributed in bulk when it wakes).
-    since: Cycle,
-    /// The stall class the core reported when it went quiescent — provably
-    /// the class of every skipped cycle (`None` = finished, attribute
-    /// nothing).
-    class: Option<CycleClass>,
-    /// The core's own wake hint (`None` = only a delivery can wake it).
-    wake_at: Option<Cycle>,
+    pub(crate) sleeping: Vec<Option<CoreSleep>>,
+    /// Reusable buffers for the per-cycle delivery/reply/request routing, so
+    /// the hot loop allocates nothing in steady state.
+    delivery_buf: Vec<Delivery>,
+    reply_buf: Vec<SnoopReply>,
+    request_buf: Vec<CoherenceRequest>,
 }
 
 /// Aggregate outcome of stepping one machine cycle.
@@ -197,8 +203,25 @@ impl Machine {
             .collect();
         let dense = cfg.dense_kernel || env_dense_override();
         let batch = cfg.batch_kernel && !env_batch_disabled() && !dense;
+        let threads = if dense {
+            1
+        } else {
+            env_threads_override().unwrap_or(cfg.machine_threads).clamp(1, cores.len())
+        };
         let sleeping = vec![None; cores.len()];
-        Ok(Machine { cfg, cores, fabric, now: 0, dense, batch, sleeping })
+        Ok(Machine {
+            cfg,
+            cores,
+            fabric,
+            now: 0,
+            dense,
+            batch,
+            threads,
+            sleeping,
+            delivery_buf: Vec::new(),
+            reply_buf: Vec::new(),
+            request_buf: Vec::new(),
+        })
     }
 
     /// True if this machine polls every cycle instead of skipping quiescent
@@ -211,6 +234,12 @@ impl Machine {
     /// execution fast path (see the module documentation).
     pub fn batch_kernel(&self) -> bool {
         self.batch
+    }
+
+    /// Number of worker threads the epoch-parallel kernel will use for this
+    /// machine (1 = the serial kernels).
+    pub fn machine_threads(&self) -> usize {
+        self.threads
     }
 
     /// The machine configuration.
@@ -281,10 +310,13 @@ impl Machine {
         // Deliver coherence messages due this cycle and collect the cores'
         // snoop replies. A delivery mutates core state, so it first wakes a
         // sleeping target, and the cycle counts as progressed even if the
-        // receiving core then reports quiescence.
-        let deliveries = self.fabric.step(now);
-        progressed |= !deliveries.is_empty();
-        for delivery in deliveries {
+        // receiving core then reports quiescence. The delivery buffer is
+        // persistent (cleared and refilled by `step_into`), so the routing
+        // loop allocates nothing in steady state.
+        let mut delivery_buf = std::mem::take(&mut self.delivery_buf);
+        self.fabric.step_into(now, &mut delivery_buf);
+        progressed |= !delivery_buf.is_empty();
+        for &delivery in &delivery_buf {
             let idx = delivery.core().index();
             self.wake_core(idx, now);
             if let Some(reply) = self.cores[idx].handle_delivery(delivery, now) {
@@ -294,10 +326,12 @@ impl Machine {
             // writeback, a squash's flash-invalidation writebacks). Route it
             // now: the fabric sees it this same cycle either way, and an
             // empty outbox lets the core take the batched fast path.
-            for request in self.cores[idx].take_requests() {
+            self.cores[idx].drain_requests_into(&mut self.request_buf);
+            for request in self.request_buf.drain(..) {
                 self.fabric.request(request, now);
             }
         }
+        self.delivery_buf = delivery_buf;
         // Step every awake (or due) core, then route its asynchronous
         // replies and new requests into the fabric. Sleeping cores are
         // provably no-ops this cycle and are not touched. Cores whose
@@ -322,22 +356,23 @@ impl Machine {
             let core = &mut self.cores[i];
             let fast = if self.batch { core.fast_cycle(now) } else { None };
             let activity = if let Some(activity) = fast {
-                for request in core.take_requests() {
+                core.drain_requests_into(&mut self.request_buf);
+                for request in self.request_buf.drain(..) {
                     progressed = true;
                     self.fabric.request(request, now);
                 }
                 activity
             } else {
                 let activity = core.step(now);
-                let replies = core.take_replies();
-                let requests = core.take_requests();
-                if !replies.is_empty() || !requests.is_empty() {
+                core.drain_replies_into(&mut self.reply_buf);
+                core.drain_requests_into(&mut self.request_buf);
+                if !self.reply_buf.is_empty() || !self.request_buf.is_empty() {
                     progressed = true;
                 }
-                for reply in replies {
+                for reply in self.reply_buf.drain(..) {
                     self.fabric.respond(reply, now);
                 }
-                for request in requests {
+                for request in self.request_buf.drain(..) {
                     self.fabric.request(request, now);
                 }
                 activity
@@ -366,8 +401,13 @@ impl Machine {
 
     /// The shared simulation loop: dense stepping after any progressed cycle,
     /// a single time jump over provably quiescent stretches otherwise (unless
-    /// the dense debug mode is forced). Returns the deadlock verdict.
+    /// the dense debug mode is forced). Returns the deadlock verdict. With
+    /// two or more machine threads the epoch-parallel kernel takes over —
+    /// byte-identical by construction (see `crate::epoch`).
     fn run_loop(&mut self, max_cycles: Cycle) -> (bool, Option<String>) {
+        if self.threads > 1 {
+            return crate::epoch::run_epoch_loop(self, max_cycles);
+        }
         while self.now < max_cycles && !self.all_finished() {
             let outcome = self.step_cycle();
             if outcome.progressed {
@@ -396,7 +436,7 @@ impl Machine {
     }
 
     /// A one-line-per-core snapshot of why nothing can make progress.
-    fn deadlock_snapshot(&self) -> String {
+    pub(crate) fn deadlock_snapshot(&self) -> String {
         let mut out = format!(
             "deadlock at cycle {}: no core can wake and the fabric has no pending events \
              ({} transactions outstanding)",
@@ -496,6 +536,15 @@ fn env_batch_disabled() -> bool {
         Ok(raw) => parse_dense_flag(&raw) == Some(false),
         Err(_) => false,
     }
+}
+
+/// The `IFENCE_THREADS` override for the epoch-parallel kernel's worker
+/// count. Zero and unparseable values are treated as unset (the warning is
+/// printed once, by `ExperimentParams::from_env`, not here — a sweep
+/// constructs many machines).
+fn env_threads_override() -> Option<usize> {
+    let raw = std::env::var("IFENCE_THREADS").ok()?;
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 #[cfg(test)]
@@ -628,6 +677,80 @@ mod tests {
                 engine.label()
             );
         }
+    }
+
+    #[test]
+    fn epoch_parallel_kernel_agrees_with_the_serial_kernels() {
+        // The epoch-parallel kernel must be byte-identical to the serial
+        // batched kernel at every thread count (the full matrix lives in
+        // tests/kernel_equivalence.rs; this is the in-crate smoke).
+        for engine in [
+            EngineKind::Conventional(ConsistencyModel::Sc),
+            EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        ] {
+            let spec = WorkloadSpec::uniform("epoch-mode");
+            let serial_cfg = MachineConfig::small_test(engine);
+            let programs = spec.generate(serial_cfg.cores, 500, 11);
+            let serial = Machine::new(serial_cfg, programs.clone()).unwrap().into_result(5_000_000);
+            assert!(serial.finished);
+            for threads in [2, 4] {
+                let mut cfg = MachineConfig::small_test(engine);
+                cfg.machine_threads = threads;
+                let machine = Machine::new(cfg, programs.clone()).unwrap();
+                let parallel = machine.into_result(5_000_000);
+                assert_eq!(
+                    serial,
+                    parallel,
+                    "{} at {threads} threads: epoch parallelism must be byte-identical",
+                    engine.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_parallel_kernel_reports_deadlocks() {
+        // Same starved-MSHR machine as the serial deadlock test: the epoch
+        // kernel's all-asleep analysis must prove the deadlock instead of
+        // spinning to the cycle limit.
+        let mut cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
+        cfg.l1.mshrs = 0;
+        cfg.machine_threads = 2;
+        let mut programs = vec![Program::new(); cfg.cores];
+        programs[0].push(ifence_types::Instruction::load(ifence_types::Addr::new(0x4000)));
+        let result = Machine::new(cfg, programs).unwrap().into_result(1_000_000);
+        assert!(result.deadlocked);
+        assert!(result.cycles < 1_000, "detected immediately, not at the cycle limit");
+        let diagnostic = result.deadlock_diagnostic.expect("a diagnostic is recorded");
+        assert!(diagnostic.contains("deadlock at cycle"), "got: {diagnostic}");
+        assert!(diagnostic.contains("core0"), "per-core snapshots included: {diagnostic}");
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_dense_mode_stays_serial() {
+        let engine = EngineKind::Conventional(ConsistencyModel::Sc);
+        let programs = WorkloadSpec::uniform("threads").generate(4, 50, 2);
+        // More threads than cores degrade to one thread per core (under
+        // IFENCE_DENSE=1 the machine is forced dense and therefore serial;
+        // under IFENCE_THREADS=n the override still clamps to the 4 cores).
+        let mut cfg = MachineConfig::small_test(engine);
+        cfg.machine_threads = 64;
+        let machine = Machine::new(cfg, programs.clone()).unwrap();
+        if machine.dense_kernel() {
+            assert_eq!(machine.machine_threads(), 1);
+        } else {
+            assert!(machine.machine_threads() <= 4 && machine.machine_threads() >= 1);
+            if std::env::var("IFENCE_THREADS").is_err() {
+                assert_eq!(machine.machine_threads(), 4);
+            }
+        }
+        // The dense debug kernel is strictly serial, whatever the config
+        // (and whatever IFENCE_THREADS) asks for.
+        let mut cfg = MachineConfig::small_test(engine);
+        cfg.machine_threads = 4;
+        cfg.dense_kernel = true;
+        let machine = Machine::new(cfg, programs).unwrap();
+        assert_eq!(machine.machine_threads(), 1, "dense debug mode never threads");
     }
 
     #[test]

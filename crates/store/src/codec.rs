@@ -339,6 +339,7 @@ impl JsonCodec for MachineConfig {
             ("seed", uint(self.seed)),
             ("dense_kernel", Json::Bool(self.dense_kernel)),
             ("batch_kernel", Json::Bool(self.batch_kernel)),
+            ("machine_threads", us(self.machine_threads)),
         ])
     }
 
@@ -357,6 +358,7 @@ impl JsonCodec for MachineConfig {
             seed: f.u64("seed")?,
             dense_kernel: f.bool("dense_kernel")?,
             batch_kernel: f.bool("batch_kernel")?,
+            machine_threads: f.usize("machine_threads")?,
         })
     }
 }

@@ -7,9 +7,11 @@
 //! trace budget and the cycle limit, plus [`SCHEMA_VERSION`]. Anything
 //! *proven* not to affect results is normalized out: the kernel mode
 //! (`dense_kernel` / `batch_kernel`, byte-identical by
-//! `tests/kernel_equivalence.rs`) and the sweep parallelism (never part of
-//! the config) do not reach the hash, so dense-mode debug runs, event-driven
-//! runs and batched runs all share cache entries.
+//! `tests/kernel_equivalence.rs`), the intra-machine thread count
+//! (`machine_threads`, byte-identical by the same suite) and the sweep
+//! parallelism (never part of the config) do not reach the hash, so
+//! dense-mode debug runs, event-driven runs, batched runs and epoch-parallel
+//! runs all share cache entries.
 //!
 //! The full key JSON is stored alongside each entry and compared on lookup,
 //! so a 64-bit hash collision degrades to a cache miss, never to a wrong
@@ -32,7 +34,11 @@ use ifence_workloads::Workload;
 /// v3: `MachineConfig` gained `batch_kernel` (serialized layout change; the
 /// flag itself is normalized out of keys like `dense_kernel`, because all
 /// three kernel modes are byte-identical).
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: `MachineConfig` gained `machine_threads` (serialized layout change;
+/// the field itself is normalized out of keys like the kernel flags, because
+/// the epoch-parallel kernel is byte-identical at every thread count).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// FNV-1a over a byte string (the store's only hash; deterministic across
 /// platforms and runs, unlike `std`'s `DefaultHasher`). Re-exported from
@@ -52,8 +58,9 @@ pub struct CellKey {
 impl CellKey {
     /// Builds the key for one cell. `machine` must already carry the run's
     /// seed and engine (as produced by the experiment runner); its
-    /// `dense_kernel` and `batch_kernel` flags are normalized before hashing
-    /// because all three kernel modes produce byte-identical results.
+    /// `dense_kernel` / `batch_kernel` flags and `machine_threads` count are
+    /// normalized before hashing because every kernel mode and thread count
+    /// produces byte-identical results.
     pub fn new(
         machine: &MachineConfig,
         workload: &Workload,
@@ -63,6 +70,7 @@ impl CellKey {
         let mut machine = machine.clone();
         machine.dense_kernel = false;
         machine.batch_kernel = true;
+        machine.machine_threads = 1;
         let doc = Json::Object(vec![
             ("schema".to_string(), Json::UInt(SCHEMA_VERSION)),
             ("machine".to_string(), machine.to_json()),
@@ -151,6 +159,17 @@ mod tests {
         cfg.batch_kernel = false;
         let event = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
         assert_eq!(batched, event, "batching is proven byte-identical; keys must match");
+    }
+
+    #[test]
+    fn machine_threads_is_normalized_out() {
+        let engine = EngineKind::Conventional(ConsistencyModel::Sc);
+        let mut cfg = MachineConfig::small_test(engine);
+        cfg.seed = 7;
+        let serial = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
+        cfg.machine_threads = 4;
+        let parallel = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
+        assert_eq!(serial, parallel, "thread count is proven byte-identical; keys must match");
     }
 
     #[test]

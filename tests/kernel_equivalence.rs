@@ -1,16 +1,19 @@
-//! Three-way kernel equivalence: the event-driven simulation kernel skips
-//! cycles only when they are provably no-ops, and the batched execution fast
+//! Four-way kernel equivalence: the event-driven simulation kernel skips
+//! cycles only when they are provably no-ops, the batched execution fast
 //! path elides a stepped cycle's maintenance stages only when they are
-//! provably dead — so for every ordering engine and workload all three
-//! schedules (dense, event-driven, batched) must produce byte-identical
-//! [`MachineResult`]s — cycle counts, per-core counters, runtime breakdowns
-//! and retired-load values alike.
+//! provably dead, and the epoch-parallel kernel steps disjoint core
+//! partitions concurrently only up to a horizon the coherence fabric proves
+//! interaction-free — so for every ordering engine and workload all four
+//! schedules (dense, event-driven, batched, epoch-parallel at any thread
+//! count) must produce byte-identical [`MachineResult`]s — cycle counts,
+//! per-core counters, runtime breakdowns and retired-load values alike.
 //!
-//! This is the safety net for the whole quiescence analysis and for the
-//! batching contract: any wake hint that fires too late, any state change
-//! the activity report misses, any mis-attributed skipped cycle, or any
-//! fast cycle whose elided stages were not actually dead shows up here as a
-//! field-level mismatch.
+//! This is the safety net for the whole quiescence analysis, for the
+//! batching contract, and for the epoch-parallel merge order: any wake hint
+//! that fires too late, any state change the activity report misses, any
+//! mis-attributed skipped cycle, any fast cycle whose elided stages were not
+//! actually dead, or any cross-thread emission merged into the fabric out of
+//! serial order shows up here as a field-level mismatch.
 
 use ifence_sim::{Machine, MachineResult};
 use invisifence_repro::prelude::*;
@@ -18,7 +21,7 @@ use invisifence_repro::prelude::*;
 const MAX_CYCLES: u64 = 30_000_000;
 const INSTRUCTIONS: usize = 900;
 
-/// The three kernel schedules held to byte-identity.
+/// The kernel schedules held to byte-identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum KernelMode {
     /// Poll every core every cycle (the debug reference).
@@ -27,12 +30,23 @@ enum KernelMode {
     Event,
     /// Event-driven plus the per-core batched fast path.
     Batched,
+    /// Batched, with cores partitioned across this many worker threads
+    /// stepping epoch-synchronously.
+    EpochParallel(usize),
 }
 
 impl KernelMode {
-    const ALL: [KernelMode; 3] = [KernelMode::Dense, KernelMode::Event, KernelMode::Batched];
+    const ALL: [KernelMode; 6] = [
+        KernelMode::Dense,
+        KernelMode::Event,
+        KernelMode::Batched,
+        KernelMode::EpochParallel(1),
+        KernelMode::EpochParallel(2),
+        KernelMode::EpochParallel(4),
+    ];
 
     fn apply(self, cfg: &mut MachineConfig) {
+        cfg.machine_threads = 1;
         match self {
             KernelMode::Dense => {
                 cfg.dense_kernel = true;
@@ -45,6 +59,11 @@ impl KernelMode {
             KernelMode::Batched => {
                 cfg.dense_kernel = false;
                 cfg.batch_kernel = true;
+            }
+            KernelMode::EpochParallel(threads) => {
+                cfg.dense_kernel = false;
+                cfg.batch_kernel = true;
+                cfg.machine_threads = threads;
             }
         }
     }
@@ -99,7 +118,10 @@ fn assert_matches_reference(
 fn assert_equivalent(engine: EngineKind, workload: &WorkloadSpec) {
     let dense = run_with_kernel(engine, workload, KernelMode::Dense);
     assert!(dense.finished, "{} on {} did not finish", engine.label(), workload.name);
-    for mode in [KernelMode::Event, KernelMode::Batched] {
+    for mode in KernelMode::ALL {
+        if mode == KernelMode::Dense {
+            continue;
+        }
         let other = run_with_kernel(engine, workload, mode);
         assert_matches_reference(&dense, &other, mode, engine, &workload.name);
     }
@@ -147,7 +169,10 @@ fn litmus_runs_are_equivalent_across_kernels() {
             };
             let dense = run(KernelMode::Dense);
             assert!(dense.finished, "{} on {name} did not finish", engine.label());
-            for mode in [KernelMode::Event, KernelMode::Batched] {
+            for mode in KernelMode::ALL {
+                if mode == KernelMode::Dense {
+                    continue;
+                }
                 let other = run(mode);
                 assert_eq!(dense, other, "{} on {name}: {mode:?} results diverge", engine.label());
             }
@@ -156,14 +181,34 @@ fn litmus_runs_are_equivalent_across_kernels() {
 }
 
 #[test]
-fn all_three_modes_are_distinct_configurations() {
+fn epoch_parallel_runs_are_repeat_deterministic() {
+    // Byte-identity to dense already implies determinism, but this test
+    // fails more legibly if a data race ever slips in: the same 4-thread
+    // run, executed three times, must reproduce itself exactly.
+    let workload = presets::apache();
+    let engine = EngineKind::InvisiSelective(ConsistencyModel::Sc);
+    let reference = run_with_kernel(engine, &workload, KernelMode::EpochParallel(4));
+    assert!(reference.finished);
+    for repeat in 1..3 {
+        let again = run_with_kernel(engine, &workload, KernelMode::EpochParallel(4));
+        assert_eq!(reference, again, "repeat {repeat} of the same 4-thread run diverges");
+    }
+}
+
+#[test]
+fn all_modes_are_distinct_configurations() {
     // Guard against the modes silently collapsing into one another (e.g. a
-    // future refactor making batch_kernel imply dense_kernel).
+    // future refactor making batch_kernel imply dense_kernel). Note
+    // EpochParallel(1) intentionally shares Batched's configuration: one
+    // worker thread is the serial batched kernel.
     let mut seen = Vec::new();
     for mode in KernelMode::ALL {
+        if mode == KernelMode::EpochParallel(1) {
+            continue;
+        }
         let mut cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
         mode.apply(&mut cfg);
-        let fingerprint = (cfg.dense_kernel, cfg.batch_kernel);
+        let fingerprint = (cfg.dense_kernel, cfg.batch_kernel, cfg.machine_threads);
         assert!(!seen.contains(&fingerprint), "{mode:?} duplicates another mode");
         seen.push(fingerprint);
     }
