@@ -11,9 +11,9 @@ use std::collections::VecDeque;
 use std::hint::black_box;
 use std::time::Instant;
 
-use ifence_coherence::DirectoryEntry;
+use ifence_coherence::{DirectoryEntry, EventQueue};
 use ifence_mem::{BankedL2, BlockData, LineState, Ring, SetAssocCache, SpecBitArray, StoreBuffer};
-use ifence_types::{Addr, BlockAddr, CacheConfig, CoreId, L2Config};
+use ifence_types::{Addr, BlockAddr, CacheConfig, CoreId, InterconnectConfig, L2Config};
 
 const WARMUP_ITERS: u32 = 20;
 const MEASURE_ITERS: u32 = 200;
@@ -179,6 +179,87 @@ fn bench_directory() {
     });
 }
 
+/// The fabric's timing-wheel event queue against the `BinaryHeap` it
+/// replaced, on the fabric's actual schedule shape: events land a directory
+/// access (~8 cycles) or a few hops (~100–400 cycles) ahead, and the queue
+/// is drained in cycle order as time advances.
+fn bench_event_wheel_vs_heap() {
+    use std::cmp::Reverse;
+    const EVENTS: u64 = 4096;
+    bench("event_wheel/schedule_pop_4096", || {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut now = 0u64;
+        let mut acc = 0u64;
+        for i in 0..EVENTS {
+            wheel.schedule(now + 8 + (i % 5) * 100, i);
+            now += 3;
+            while let Some((_, v)) = wheel.pop_due(now) {
+                acc = acc.wrapping_add(v);
+            }
+        }
+        now += 1_000;
+        while let Some((_, v)) = wheel.pop_due(now) {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+    bench("binary_heap/schedule_pop_4096", || {
+        let mut heap: std::collections::BinaryHeap<Reverse<(u64, u64)>> =
+            std::collections::BinaryHeap::new();
+        let mut now = 0u64;
+        let mut acc = 0u64;
+        for i in 0..EVENTS {
+            heap.push(Reverse((now + 8 + (i % 5) * 100, i)));
+            now += 3;
+            while let Some(&Reverse((t, v))) = heap.peek() {
+                if t > now {
+                    break;
+                }
+                heap.pop();
+                acc = acc.wrapping_add(v);
+            }
+        }
+        now += 1_000;
+        while let Some(&Reverse((t, v))) = heap.peek() {
+            if t > now {
+                break;
+            }
+            heap.pop();
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+}
+
+/// The precomputed routing table against the arithmetic div/mod torus
+/// routing it memoizes, on the all-pairs lookup mix the fabric issues.
+fn bench_routing_table() {
+    let ic = InterconnectConfig::paper_torus();
+    let table = ic.routing_table();
+    bench("routing/arithmetic_all_pairs_x64", || {
+        let mut acc = 0u64;
+        for _ in 0..64 {
+            for from in 0..16 {
+                for to in 0..16 {
+                    acc = acc.wrapping_add(ic.latency(black_box(from), black_box(to)));
+                }
+            }
+        }
+        acc
+    });
+    bench("routing/table_all_pairs_x64", || {
+        let mut acc = 0u64;
+        for _ in 0..64 {
+            for from in 0..16 {
+                for to in 0..16 {
+                    acc = acc.wrapping_add(table.latency(black_box(from), black_box(to)));
+                }
+            }
+        }
+        acc
+    });
+}
+
 fn main() {
     let _run = ifence_bench::BenchRun::start(
         "microbench_structures",
@@ -189,6 +270,8 @@ fn main() {
     bench_spec_bits();
     bench_store_buffer();
     bench_ring_vs_vecdeque();
+    bench_event_wheel_vs_heap();
+    bench_routing_table();
     bench_cache();
     bench_directory();
 }

@@ -16,6 +16,7 @@
 
 use ifence_sim::runner::{process_env, EnvLookup};
 use ifence_sim::ExperimentParams;
+use ifence_stats::{Phase, PhaseProfile, ProfileSnapshot};
 use ifence_store::Json;
 use ifence_workloads::{presets, Workload};
 use std::path::PathBuf;
@@ -113,6 +114,11 @@ fn default_results_path() -> PathBuf {
 /// The file is rewritten atomically (tmp file + rename); an unreadable or
 /// corrupt trajectory is restarted with a warning rather than failing the
 /// bench — recording is best-effort by design.
+///
+/// When the kernel phase profiler is accumulating (`IFENCE_PROFILE=1` or
+/// [`PhaseProfile::set_enabled`]), the record also carries the per-phase
+/// wall clock this run accumulated, as `profile_<phase>_ms` fields — so the
+/// trajectory shows where the host time went, not just how much there was.
 pub struct BenchRun {
     bench: String,
     detail: String,
@@ -120,6 +126,7 @@ pub struct BenchRun {
     seed: u64,
     jobs: u64,
     start: Instant,
+    profile_start: ProfileSnapshot,
     path: Option<PathBuf>,
 }
 
@@ -143,6 +150,7 @@ impl BenchRun {
             seed: params.seed,
             jobs: params.effective_jobs() as u64,
             start: Instant::now(),
+            profile_start: PhaseProfile::global().snapshot(),
             path,
         }
     }
@@ -154,7 +162,7 @@ impl BenchRun {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        Json::Object(vec![
+        let mut fields = vec![
             ("bench".to_string(), Json::Str(self.bench.clone())),
             ("detail".to_string(), Json::Str(self.detail.clone())),
             ("instructions_per_core".to_string(), Json::UInt(self.instructions_per_core)),
@@ -162,7 +170,17 @@ impl BenchRun {
             ("jobs".to_string(), Json::UInt(self.jobs)),
             ("wall_clock_ms".to_string(), Json::Float(wall_clock_ms)),
             ("unix_time_secs".to_string(), Json::UInt(unix_time_secs)),
-        ])
+        ];
+        if PhaseProfile::global().enabled() {
+            let delta = PhaseProfile::global().snapshot().delta(&self.profile_start);
+            for phase in Phase::ALL {
+                fields.push((
+                    format!("profile_{}_ms", phase.label()),
+                    Json::Float(delta.millis(phase)),
+                ));
+            }
+        }
+        Json::Object(fields)
     }
 
     fn append(&self) -> std::io::Result<()> {

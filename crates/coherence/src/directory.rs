@@ -89,26 +89,43 @@ impl DirectoryEntry {
     /// The caches (other than `except`) that must be invalidated to grant
     /// `except` write permission.
     pub fn holders_except(&self, except: CoreId) -> Vec<CoreId> {
+        let mut out = Vec::new();
+        self.holders_except_into(except, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`DirectoryEntry::holders_except`]: clears
+    /// `out` and fills it, so the fabric's request path can reuse one
+    /// scratch buffer across transactions.
+    pub fn holders_except_into(&self, except: CoreId, out: &mut Vec<CoreId>) {
+        out.clear();
         match &self.state {
-            DirectoryState::Uncached => Vec::new(),
+            DirectoryState::Uncached => {}
             DirectoryState::Owned(owner) => {
-                if *owner == except {
-                    Vec::new()
-                } else {
-                    vec![*owner]
+                if *owner != except {
+                    out.push(*owner);
                 }
             }
-            DirectoryState::Shared(s) => s.iter().copied().filter(|c| *c != except).collect(),
+            DirectoryState::Shared(s) => out.extend(s.iter().copied().filter(|c| *c != except)),
         }
     }
 
     /// Every cache currently recorded as holding the block (the recall
     /// targets when this entry's L2 line is evicted).
     pub fn holders(&self) -> Vec<CoreId> {
+        let mut out = Vec::new();
+        self.holders_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`DirectoryEntry::holders`]: clears `out` and
+    /// fills it.
+    pub fn holders_into(&self, out: &mut Vec<CoreId>) {
+        out.clear();
         match &self.state {
-            DirectoryState::Uncached => Vec::new(),
-            DirectoryState::Owned(owner) => vec![*owner],
-            DirectoryState::Shared(s) => s.clone(),
+            DirectoryState::Uncached => {}
+            DirectoryState::Owned(owner) => out.push(*owner),
+            DirectoryState::Shared(s) => out.extend_from_slice(s),
         }
     }
 

@@ -11,6 +11,7 @@
 //! invalidation.
 
 use crate::directory::{home_of, DirectoryEntry, DirectoryState};
+use crate::event_queue::EventQueue;
 use crate::messages::{
     CoherenceReqKind, CoherenceRequest, Delivery, FabricInput, SnoopReply, TxnId,
 };
@@ -19,9 +20,8 @@ use ifence_mem::{BankedL2, BlockData, L2FillOutcome, LineState};
 use ifence_stats::FabricStats;
 use ifence_types::{
     Addr, BlockAddr, CoreId, Cycle, FnvMap, InterconnectConfig, L2Config, MachineConfig,
+    RoutingTable,
 };
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Latency and topology parameters of the fabric.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +30,11 @@ pub struct FabricConfig {
     pub nodes: usize,
     /// Torus topology, per-hop latency and busy-retry interval.
     pub interconnect: InterconnectConfig,
+    /// Flat per-(from, to) hop/latency tables precomputed from
+    /// `interconnect`, so the per-request torus routing is one indexed load
+    /// instead of a div/mod chain. Must be built from the same
+    /// interconnect configuration (as [`FabricConfig::from_machine`] does).
+    pub routing: RoutingTable,
     /// Shared-L2 geometry and hit latency (one bank per node; capacity 0 =
     /// unbounded).
     pub l2: L2Config,
@@ -47,6 +52,7 @@ impl FabricConfig {
         FabricConfig {
             nodes: cfg.cores,
             interconnect: cfg.interconnect,
+            routing: cfg.interconnect.routing_table(),
             l2: cfg.l2,
             dram_latency: cfg.dram.latency,
             directory_latency: cfg.interconnect.directory_latency,
@@ -73,17 +79,6 @@ impl FabricConfig {
 enum EventKind {
     DirAccess(u64),
     Deliver(Delivery),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct HeapKey {
-    time: Cycle,
-    /// Monotonic issue number: same-cycle events fire in schedule order,
-    /// independent of payload-slot reuse (the derived `Ord` never reaches
-    /// `payload` — `seq` is unique).
-    seq: u64,
-    /// Slab id of the event payload in [`CoherenceFabric::payloads`].
-    payload: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,11 +109,14 @@ pub struct CoherenceFabric {
     l2: BankedL2<DirectoryEntry>,
     /// The DRAM tier: backing store for blocks not (or no longer) L2-resident.
     dram: FnvMap<u64, BlockData>,
-    heap: BinaryHeap<Reverse<HeapKey>>,
-    /// Scheduled-event payloads, slab-indexed by `HeapKey::payload`; each
-    /// entry is freed the moment its heap key pops.
-    payloads: Slab<EventKind>,
-    next_seq: u64,
+    /// Scheduled events (directory accesses and deliveries), stored inline
+    /// in a hierarchical timing wheel with the old heap's exact pop order:
+    /// cycle-major, schedule-order minor.
+    events: EventQueue<EventKind>,
+    /// Persistent scratch for the holder lists the directory walks build
+    /// (invalidation fan-out, recall targets), so the request path allocates
+    /// nothing in steady state.
+    holder_scratch: Vec<CoreId>,
     /// In-flight transactions, slab-indexed by the id inside [`TxnId`];
     /// entries are freed eagerly when the transaction finalises, and stale
     /// ids (late acks) miss on the slot generation exactly as they used to
@@ -137,9 +135,8 @@ impl CoherenceFabric {
             cfg,
             l2,
             dram: FnvMap::default(),
-            heap: BinaryHeap::new(),
-            payloads: Slab::new(),
-            next_seq: 0,
+            events: EventQueue::new(),
+            holder_scratch: Vec::new(),
             txns: Slab::new(),
             deferred_acks: 0,
             total_transactions: 0,
@@ -191,7 +188,7 @@ impl CoherenceFabric {
 
     /// Returns true if any event or transaction is still pending.
     pub fn busy(&self) -> bool {
-        !self.txns.is_empty() || !self.heap.is_empty()
+        !self.txns.is_empty() || !self.events.is_empty()
     }
 
     /// The cycle of the earliest scheduled event, if any — the fabric's wake
@@ -200,18 +197,15 @@ impl CoherenceFabric {
     /// still hold transactions that are waiting on core responses; those are
     /// covered by the responding cores' own wake hints).
     pub fn next_due(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(key)| key.time)
+        self.events.next_due()
     }
 
     fn schedule(&mut self, time: Cycle, kind: EventKind) {
-        let payload = self.payloads.insert(kind);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Reverse(HeapKey { time, seq, payload }));
+        self.events.schedule(time, kind);
     }
 
     fn latency(&self, from: CoreId, to: CoreId) -> u64 {
-        self.cfg.interconnect.latency(from.index(), to.index())
+        self.cfg.routing.latency(from.index(), to.index())
     }
 
     fn home(&self, block: BlockAddr) -> CoreId {
@@ -351,11 +345,12 @@ impl CoherenceFabric {
     fn start_recall(&mut self, victim: u64, now: Cycle) {
         let block = self.block_addr(victim);
         let home = self.home(block);
-        let holders = {
+        let mut holders = std::mem::take(&mut self.holder_scratch);
+        {
             let line = self.l2.get_mut(victim).expect("recall victim is resident");
             line.busy = true;
-            line.dir.holders()
-        };
+            line.dir.holders_into(&mut holders);
+        }
         debug_assert!(!holders.is_empty(), "recalls target lines with L1 holders");
         let id = self.txns.insert(Txn {
             requester: home,
@@ -367,7 +362,7 @@ impl CoherenceFabric {
             fill_scheduled: false,
         });
         self.stats.l2_recalls += 1;
-        for holder in holders {
+        for &holder in &holders {
             let deliver_at = now + self.latency(home, holder);
             self.schedule(
                 deliver_at,
@@ -380,6 +375,7 @@ impl CoherenceFabric {
                 }),
             );
         }
+        self.holder_scratch = holders;
     }
 
     fn process_dir_access(&mut self, id: u64, now: Cycle) {
@@ -400,15 +396,28 @@ impl CoherenceFabric {
             return;
         };
         let home = self.home(block);
-        let dir = {
+        // One borrow of the pinned line extracts everything the dispatch
+        // below needs — owner, uncached-ness, upgrade-ness and the
+        // invalidation fan-out (into the persistent scratch buffer) — so the
+        // hot path neither clones the directory entry nor allocates.
+        let mut holders = std::mem::take(&mut self.holder_scratch);
+        let (owner, uncached, already_shared) = {
             let line = self.l2.get_mut(block.number()).expect("resident after ensure_resident");
             line.busy = true;
-            line.dir.clone()
+            if matches!(kind, TxnKind::GetM) {
+                line.dir.holders_except_into(requester, &mut holders);
+            }
+            let already_shared = match &line.dir.state {
+                DirectoryState::Shared(s) => s.contains(&requester),
+                DirectoryState::Owned(o) => *o == requester,
+                DirectoryState::Uncached => false,
+            };
+            (line.dir.owner(), line.dir.is_uncached(), already_shared)
         };
 
         match kind {
             TxnKind::GetS => {
-                let owner = dir.owner().filter(|o| *o != requester);
+                let owner = owner.filter(|o| *o != requester);
                 match owner {
                     Some(o) => {
                         let deliver_at = now + self.latency(home, o);
@@ -427,9 +436,8 @@ impl CoherenceFabric {
                         }
                     }
                     None => {
-                        let grant_exclusive = dir.is_uncached();
                         if let Some(t) = self.txns.get_mut(id) {
-                            t.grant_exclusive = grant_exclusive;
+                            t.grant_exclusive = uncached;
                             t.data_ready_at = now + data_lat;
                         }
                         self.schedule_fill(id, now);
@@ -437,18 +445,12 @@ impl CoherenceFabric {
                 }
             }
             TxnKind::GetM => {
-                let holders = dir.holders_except(requester);
-                let already_shared = match &dir.state {
-                    DirectoryState::Shared(s) => s.contains(&requester),
-                    DirectoryState::Owned(o) => *o == requester,
-                    DirectoryState::Uncached => false,
-                };
-                for h in &holders {
-                    let deliver_at = now + self.latency(home, *h);
+                for &h in &holders {
+                    let deliver_at = now + self.latency(home, h);
                     self.schedule(
                         deliver_at,
                         EventKind::Deliver(Delivery::Invalidate {
-                            core: *h,
+                            core: h,
                             block,
                             txn: TxnId(id),
                             requester,
@@ -469,6 +471,7 @@ impl CoherenceFabric {
             }
             TxnKind::Recall => unreachable!("recalls never enter the directory-access path"),
         }
+        self.holder_scratch = holders;
     }
 
     fn schedule_fill(&mut self, id: u64, now: Cycle) {
@@ -595,17 +598,9 @@ impl CoherenceFabric {
     /// buffer across cycles.
     pub fn step_into(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
         out.clear();
-        while let Some(Reverse(key)) = self.heap.peek().copied() {
-            if key.time > now {
-                break;
-            }
-            self.heap.pop();
-            let kind = match self.payloads.remove(key.payload) {
-                Some(k) => k,
-                None => continue,
-            };
+        while let Some((time, kind)) = self.events.pop_due(now) {
             match kind {
-                EventKind::DirAccess(id) => self.process_dir_access(id, key.time.max(now)),
+                EventKind::DirAccess(id) => self.process_dir_access(id, time.max(now)),
                 EventKind::Deliver(d) => {
                     if let Delivery::Fill { txn, .. } = d {
                         self.finalize_fill(txn.0);
@@ -663,15 +658,17 @@ mod tests {
     use super::*;
 
     fn config() -> FabricConfig {
+        let interconnect = InterconnectConfig {
+            mesh_width: 2,
+            mesh_height: 2,
+            hop_latency: 10,
+            directory_latency: 2,
+            retry_interval: 8,
+        };
         FabricConfig {
             nodes: 4,
-            interconnect: InterconnectConfig {
-                mesh_width: 2,
-                mesh_height: 2,
-                hop_latency: 10,
-                directory_latency: 2,
-                retry_interval: 8,
-            },
+            routing: interconnect.routing_table(),
+            interconnect,
             l2: L2Config { size_bytes: 0, associativity: 0, hit_latency: 5, mshrs: 8 },
             dram_latency: 20,
             directory_latency: 2,

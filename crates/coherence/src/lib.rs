@@ -46,10 +46,12 @@
 #![warn(missing_docs)]
 
 pub mod directory;
+pub mod event_queue;
 pub mod fabric;
 pub mod messages;
 mod slab;
 
 pub use directory::{home_of, DirectoryEntry, DirectoryState};
+pub use event_queue::EventQueue;
 pub use fabric::{CoherenceFabric, FabricConfig};
 pub use messages::{CoherenceReqKind, CoherenceRequest, Delivery, FabricInput, SnoopReply, TxnId};

@@ -41,6 +41,7 @@ pub mod config;
 pub mod fnv;
 pub mod instr;
 pub mod model;
+pub mod routing;
 pub mod source;
 pub mod stall;
 
@@ -53,5 +54,6 @@ pub use config::{
 pub use fnv::{fnv1a, FnvBuildHasher, FnvMap, FnvSet};
 pub use instr::{FenceKind, InstrKind, Instruction, Program};
 pub use model::{ConsistencyModel, StoreBufferKind};
+pub use routing::RoutingTable;
 pub use source::{BoxedSource, EmptySource, InstructionSource, ProgramSource};
 pub use stall::{CycleClass, StallReason};

@@ -1,0 +1,98 @@
+//! Precomputed torus routing: flat per-(from, to) hop and latency tables.
+//!
+//! [`InterconnectConfig::hops`] computes the wrap-around Manhattan distance
+//! with a div/mod chain per lookup. The fabric asks for a latency on every
+//! request, invalidation, acknowledgement and fill, always over the same
+//! small node set — so [`RoutingTable`] memoizes the whole node×node matrix
+//! once (at [`RoutingTable::new`], typically via
+//! [`InterconnectConfig::routing_table`]) and every lookup becomes a single
+//! indexed load. The tables are small even at the topologies the paper never
+//! measured: a 16×16 torus is 256×256 entries, one u64 each.
+
+use crate::config::InterconnectConfig;
+
+/// Flat node×node hop and latency tables for one torus topology (see the
+/// module documentation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    nodes: usize,
+    /// Row-major `nodes × nodes` hop counts.
+    hops: Vec<u64>,
+    /// Row-major `nodes × nodes` one-way latencies (hops × hop latency).
+    latency: Vec<u64>,
+}
+
+impl RoutingTable {
+    /// Builds the tables from an interconnect configuration by evaluating
+    /// the arithmetic routing for every (from, to) pair once.
+    pub fn new(interconnect: &InterconnectConfig) -> Self {
+        let nodes = interconnect.nodes();
+        let mut hops = Vec::with_capacity(nodes * nodes);
+        let mut latency = Vec::with_capacity(nodes * nodes);
+        for from in 0..nodes {
+            for to in 0..nodes {
+                let h = interconnect.hops(from, to);
+                hops.push(h);
+                latency.push(h * interconnect.hop_latency);
+            }
+        }
+        RoutingTable { nodes, hops, latency }
+    }
+
+    /// Number of nodes the tables cover.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Minimal hop count between two nodes — equal to
+    /// [`InterconnectConfig::hops`] by construction.
+    #[inline]
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        self.hops[from * self.nodes + to]
+    }
+
+    /// One-way latency between two nodes in cycles — equal to
+    /// [`InterconnectConfig::latency`] by construction.
+    #[inline]
+    pub fn latency(&self, from: usize, to: usize) -> u64 {
+        self.latency[from * self.nodes + to]
+    }
+}
+
+impl InterconnectConfig {
+    /// Precomputes this topology's routing into flat lookup tables.
+    pub fn routing_table(&self) -> RoutingTable {
+        RoutingTable::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_the_arithmetic_routing_on_the_paper_torus() {
+        let ic = InterconnectConfig::paper_torus();
+        let table = ic.routing_table();
+        assert_eq!(table.nodes(), 16);
+        for from in 0..16 {
+            for to in 0..16 {
+                assert_eq!(table.hops(from, to), ic.hops(from, to), "hops {from}->{to}");
+                assert_eq!(table.latency(from, to), ic.latency(from, to), "latency {from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_around_neighbours_are_one_hop() {
+        let mut ic = InterconnectConfig::paper_torus();
+        ic.mesh_width = 4;
+        ic.mesh_height = 4;
+        let table = ic.routing_table();
+        // Node 0 and node 3 are torus neighbours across the row wrap.
+        assert_eq!(table.hops(0, 3), 1);
+        // Node 0 and node 12 wrap across the column.
+        assert_eq!(table.hops(0, 12), 1);
+        assert_eq!(table.latency(0, 12), ic.hop_latency);
+    }
+}

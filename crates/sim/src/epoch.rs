@@ -50,6 +50,7 @@
 use crate::machine::Machine;
 use ifence_coherence::{CoherenceRequest, Delivery, FabricInput};
 use ifence_cpu::{Core, CoreSleep};
+use ifence_stats::Phase;
 use ifence_types::{earliest_wake, Cycle};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -327,6 +328,7 @@ pub(crate) fn run_epoch_loop(m: &mut Machine, max_cycles: Cycle) -> (bool, Optio
         m.cores.extend(chunk.cores);
         m.sleeping.extend(chunk.sleep);
     }
+    m.rebuild_wake_index();
     match verdict {
         Verdict::Finished(now) | Verdict::CycleLimit(now) => {
             m.now = now;
@@ -372,12 +374,18 @@ fn control_loop(
         // and every emission made during the epoch lands at or beyond
         // `now + min_crossing_latency` — so nothing can land inside
         // `(now, horizon)` and the epoch's cycles are core-local.
+        // Phase timers (control thread only — worker chunks are untimed, so
+        // the epoch kernel's CoreStep covers one chunk in 1/threads of the
+        // wall clock; Merge is the phase this kernel adds).
+        let timer = m.timer(Phase::FabricStep);
         m.fabric.step_into(now, &mut deliveries);
+        drop(timer);
         if !deliveries.is_empty() {
             last_activity = Some(now);
         }
         let horizon = m.fabric.next_interaction_bound(now).max(now + 1).min(max_cycles);
         // Publish the epoch and partition its deliveries by target chunk.
+        let timer = m.timer(Phase::DeliveryRouting);
         control_input.start = now;
         control_input.horizon = horizon;
         control_input.deliveries.clear();
@@ -400,11 +408,15 @@ fn control_loop(
                 slots[owner - 1].input.lock().expect("epoch input mutex").deliveries.push(entry);
             }
         }
+        drop(timer);
         barrier.wait(); // A: inputs published, everyone steps.
+        let timer = m.timer(Phase::CoreStep);
         chunk.run_epoch(&control_input, &mut control_output, batch);
+        drop(timer);
         barrier.wait(); // B: every chunk done, outputs stable.
                         // Merge: fold every chunk's report and replay the combined log in
                         // serial order (stable sort keeps each core's within-cycle order).
+        let timer = m.timer(Phase::Merge);
         merge.clear();
         fold(
             &mut control_output,
@@ -431,6 +443,7 @@ fn control_loop(
         for entry in merge.drain(..) {
             m.fabric.ingest(entry.input, entry.cycle);
         }
+        drop(timer);
         // Decide: finished, deadlocked, jump, or straight into the next
         // epoch — each exactly where the serial loop would land.
         if finished_at.iter().all(Option::is_some) {

@@ -57,9 +57,11 @@
 //! order — so results stay byte-identical to the serial kernels at any
 //! thread count. The dense debug mode always runs serially.
 
-use ifence_coherence::{CoherenceFabric, CoherenceRequest, Delivery, FabricConfig, SnoopReply};
+use ifence_coherence::{
+    CoherenceFabric, CoherenceRequest, Delivery, EventQueue, FabricConfig, SnoopReply,
+};
 use ifence_cpu::{Core, CoreSleep};
-use ifence_stats::{CoreStats, FabricStats, RunSummary};
+use ifence_stats::{CoreStats, FabricStats, Phase, PhaseProfile, PhaseTimer, RunSummary};
 use ifence_types::{
     earliest_wake, BoxedSource, CoreId, Cycle, MachineConfig, Program, ProgramSource,
 };
@@ -142,6 +144,21 @@ pub struct Machine {
     /// Per-core sleep state: `Some` while the core is quiescent and need not
     /// be stepped (see the module documentation).
     pub(crate) sleeping: Vec<Option<CoreSleep>>,
+    /// Indexed wake dispatch: the ascending-sorted indices of the cores that
+    /// are awake (`sleeping[i].is_none()`). The stepping loop walks exactly
+    /// these instead of scanning every core each stepped cycle.
+    awake: Vec<usize>,
+    /// Indexed wake dispatch, timer side: each sleep transition with a wake
+    /// hint schedules `(wake_at, core)` here, so due cores are found by
+    /// popping the wheel instead of scanning the sleep array. Entries can go
+    /// stale (the core was woken early by a delivery); stale pops are
+    /// skipped — the core's live hint always has its own entry.
+    wake_wheel: EventQueue<usize>,
+    /// Whether the kernel phase profiler is accumulating, resolved once at
+    /// construction so the hot loop pays a plain bool test instead of an
+    /// atomic load per phase per cycle. Profiling observes host wall clock
+    /// only — it cannot change any simulated result.
+    pub(crate) profiling: bool,
     /// Reusable buffers for the per-cycle delivery/reply/request routing, so
     /// the hot loop allocates nothing in steady state.
     delivery_buf: Vec<Delivery>,
@@ -209,6 +226,7 @@ impl Machine {
             env_threads_override().unwrap_or(cfg.machine_threads).clamp(1, cores.len())
         };
         let sleeping = vec![None; cores.len()];
+        let awake = (0..cores.len()).collect();
         Ok(Machine {
             cfg,
             cores,
@@ -218,6 +236,9 @@ impl Machine {
             batch,
             threads,
             sleeping,
+            awake,
+            wake_wheel: EventQueue::new(),
+            profiling: PhaseProfile::global().enabled(),
             delivery_buf: Vec::new(),
             reply_buf: Vec::new(),
             request_buf: Vec::new(),
@@ -281,6 +302,16 @@ impl Machine {
         self.wake_all();
     }
 
+    /// Starts a phase timer when the kernel phase profiler is on (the guard
+    /// holds no borrow of the machine, so it can bracket `&mut self` work).
+    pub(crate) fn timer(&self, phase: Phase) -> Option<PhaseTimer> {
+        if self.profiling {
+            PhaseProfile::global().start(phase)
+        } else {
+            None
+        }
+    }
+
     /// Wakes a sleeping core: its skipped cycles are attributed in bulk to
     /// the stall class it reported when it went quiescent — exactly what the
     /// dense loop would have recorded, one cycle at a time.
@@ -288,6 +319,29 @@ impl Machine {
         if let Some(sleep) = self.sleeping[idx].take() {
             if let (Some(class), true) = (sleep.class, now > sleep.since) {
                 self.cores[idx].absorb_quiescent_cycles(class, now - sleep.since);
+            }
+            // Keep the awake index sorted so the stepping loop visits cores
+            // in ascending order — the same order as a full scan.
+            if let Err(at) = self.awake.binary_search(&idx) {
+                self.awake.insert(at, idx);
+            }
+        }
+    }
+
+    /// Rebuilds the indexed wake dispatch state from `sleeping` (after the
+    /// epoch-parallel kernel reassembles the cores it partitioned out).
+    /// Sleepers' wake hints are rescheduled on the wheel; any entries already
+    /// there go stale and are skipped on pop.
+    pub(crate) fn rebuild_wake_index(&mut self) {
+        self.awake.clear();
+        for (i, sleep) in self.sleeping.iter().enumerate() {
+            match sleep {
+                None => self.awake.push(i),
+                Some(s) => {
+                    if let Some(wake) = s.wake_at {
+                        self.wake_wheel.schedule(wake, i);
+                    }
+                }
             }
         }
     }
@@ -314,8 +368,11 @@ impl Machine {
         // persistent (cleared and refilled by `step_into`), so the routing
         // loop allocates nothing in steady state.
         let mut delivery_buf = std::mem::take(&mut self.delivery_buf);
+        let timer = self.timer(Phase::FabricStep);
         self.fabric.step_into(now, &mut delivery_buf);
+        drop(timer);
         progressed |= !delivery_buf.is_empty();
+        let timer = self.timer(Phase::DeliveryRouting);
         for &delivery in &delivery_buf {
             let idx = delivery.core().index();
             self.wake_core(idx, now);
@@ -332,27 +389,41 @@ impl Machine {
             }
         }
         self.delivery_buf = delivery_buf;
-        // Step every awake (or due) core, then route its asynchronous
-        // replies and new requests into the fabric. Sleeping cores are
-        // provably no-ops this cycle and are not touched. Cores whose
-        // engine-maintenance and deferred-resolution stages are provably
-        // dead take the batched fast path ([`Core::fast_cycle`]): the same
-        // cycle through the same stages minus the dead ones. A fast cycle
-        // can queue requests like any other; they are routed here, at the
-        // same point and in the same order as a slow cycle's, so the fabric
-        // sees an identical schedule. (Fast cycles cannot produce replies —
-        // those come only from delivery handling and deferred resolution.)
-        let mut core_wake = None;
-        for i in 0..self.cores.len() {
-            if let Some(sleep) = self.sleeping[i] {
-                match sleep.wake_at {
-                    Some(wake) if wake <= now => self.wake_core(i, now),
-                    hint => {
-                        core_wake = earliest_wake(core_wake, hint);
-                        continue;
-                    }
+        drop(timer);
+        let timer = self.timer(Phase::CoreStep);
+        // Wake the cores whose sleep hints are due. The wheel holds one
+        // entry per sleep transition with a hint, so due cores are found by
+        // popping rather than scanning every sleeper. An entry is stale when
+        // its core was woken early (by a delivery) since it was scheduled —
+        // the core is either awake again (`sleeping[idx]` is `None`) or
+        // re-slept with a newer hint that has its own entry — so a stale pop
+        // is skipped; no wake is ever missed.
+        while let Some((_, idx)) = self.wake_wheel.pop_due(now) {
+            if let Some(sleep) = self.sleeping[idx] {
+                if matches!(sleep.wake_at, Some(wake) if wake <= now) {
+                    self.wake_core(idx, now);
                 }
             }
+        }
+        // Step every awake core, then route its asynchronous replies and new
+        // requests into the fabric. Sleeping cores are provably no-ops this
+        // cycle and are not in the awake index at all: a delivery wakes
+        // exactly its target and a due hint wakes exactly its sleeper, so
+        // the loop below walks only the cores that must be stepped — in
+        // ascending index order, the identical fabric call order to a full
+        // scan. Cores whose engine-maintenance and deferred-resolution
+        // stages are provably dead take the batched fast path
+        // ([`Core::fast_cycle`]): the same cycle through the same stages
+        // minus the dead ones. A fast cycle can queue requests like any
+        // other; they are routed here, at the same point and in the same
+        // order as a slow cycle's, so the fabric sees an identical schedule.
+        // (Fast cycles cannot produce replies — those come only from
+        // delivery handling and deferred resolution.)
+        let mut dense_wake = None;
+        let mut awake = std::mem::take(&mut self.awake);
+        let mut kept = 0;
+        for r in 0..awake.len() {
+            let i = awake[r];
             let core = &mut self.cores[i];
             let fast = if self.batch { core.fast_cycle(now) } else { None };
             let activity = if let Some(activity) = fast {
@@ -377,20 +448,44 @@ impl Machine {
                 }
                 activity
             };
+            let mut keep = true;
             if activity.progressed {
                 progressed = true;
+            } else if self.dense {
+                // Dense mode never sleeps, so the quiescent cores' hints are
+                // aggregated here (a sleep-array scan would see nothing).
+                dense_wake = earliest_wake(dense_wake, activity.wake_at);
             } else {
-                core_wake = earliest_wake(core_wake, activity.wake_at);
-                if !self.dense {
-                    self.sleeping[i] = Some(CoreSleep {
-                        since: now + 1,
-                        class: activity.class,
-                        wake_at: activity.wake_at,
-                    });
+                self.sleeping[i] = Some(CoreSleep {
+                    since: now + 1,
+                    class: activity.class,
+                    wake_at: activity.wake_at,
+                });
+                if let Some(wake) = activity.wake_at {
+                    self.wake_wheel.schedule(wake, i);
                 }
+                keep = false;
+            }
+            if keep {
+                awake[kept] = i;
+                kept += 1;
             }
         }
+        awake.truncate(kept);
+        self.awake = awake;
+        drop(timer);
         self.now += 1;
+        // The wake hint is only read on no-progress cycles, where (in the
+        // skipping kernels) every core is provably asleep — so folding over
+        // the sleep array reproduces exactly the minimum the full scan used
+        // to aggregate, without paying for it on progressed cycles.
+        let core_wake = if progressed {
+            None
+        } else if self.dense {
+            dense_wake
+        } else {
+            self.sleeping.iter().flatten().fold(None, |acc, s| earliest_wake(acc, s.wake_at))
+        };
         CycleOutcome { progressed, core_wake }
     }
 

@@ -12,6 +12,10 @@
 //! * **Derived figures** — speedups, normalized breakdowns, percent-of-time
 //!   metrics and confidence intervals over multiple seeds — via [`report`].
 //!
+//! It also hosts the host-side kernel phase profiler ([`profile`]): opt-in
+//! wall-clock accumulation over the simulation kernel's phases, which
+//! measures the simulator rather than the simulated machine.
+//!
 //! # Example
 //!
 //! ```
@@ -31,11 +35,13 @@
 pub mod breakdown;
 pub mod counters;
 pub mod fabric;
+pub mod profile;
 pub mod report;
 
 pub use breakdown::{CycleBreakdown, ProvisionalBreakdown};
 pub use counters::SimCounters;
 pub use fabric::FabricStats;
+pub use profile::{Phase, PhaseProfile, PhaseTimer, ProfileSnapshot};
 pub use report::{confidence_interval_95, mean, ColumnTable, RunSummary};
 
 use ifence_types::CycleClass;

@@ -28,7 +28,7 @@
 use ifence_sim::figures::{run_all_figures, FigureContext};
 use ifence_sim::sweep::{manifest_for_grid, ExperimentMatrix};
 use ifence_sim::{run_litmus, ExperimentParams};
-use ifence_stats::ColumnTable;
+use ifence_stats::{ColumnTable, PhaseProfile};
 use ifence_store::{diff_sweeps, ExperimentStore};
 use ifence_types::{ConsistencyModel, EngineKind};
 use ifence_workloads::{presets, LitmusTest, Workload};
@@ -198,6 +198,16 @@ fn parse_num<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
     raw.trim().parse::<T>().map_err(|_| format!("expected a number, got {raw:?}"))
 }
 
+/// Prints the kernel phase profile this process accumulated, when profiling
+/// is on (`IFENCE_PROFILE=1`). Host wall clock only — simulated results are
+/// unaffected by the profiler either way.
+fn print_phase_profile() {
+    let profile = PhaseProfile::global();
+    if profile.enabled() {
+        println!("{}", profile.snapshot().report());
+    }
+}
+
 fn run(args: &[String]) -> Result<i32, String> {
     let cli = Cli::parse(args)?;
     if cli.help && cli.command.is_empty() {
@@ -297,6 +307,7 @@ fn cmd_figures(cli: &Cli) -> Result<i32, String> {
             store.len()
         );
     }
+    print_phase_profile();
     Ok(0)
 }
 
@@ -374,6 +385,7 @@ fn cmd_sweep(cli: &Cli) -> Result<i32, String> {
             None => " (store disabled)".to_string(),
         }
     );
+    print_phase_profile();
     Ok(0)
 }
 
@@ -449,6 +461,7 @@ fn cmd_litmus(cli: &Cli) -> Result<i32, String> {
         return Ok(2);
     }
     println!("all engines enforce their consistency models ({iterations} iterations/pattern)");
+    print_phase_profile();
     Ok(0)
 }
 

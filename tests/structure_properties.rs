@@ -5,8 +5,9 @@
 //! without proptest), so failures reproduce exactly from the printed case
 //! seed.
 
+use ifence_coherence::EventQueue;
 use ifence_mem::{BlockData, LineState, Ring, SetAssocCache, SpecBitArray, StoreBuffer};
-use ifence_types::{Addr, BlockAddr, CacheConfig};
+use ifence_types::{Addr, BlockAddr, CacheConfig, InterconnectConfig};
 use ifence_workloads::TraceRng;
 
 const CASES: u64 = 64;
@@ -273,6 +274,107 @@ fn ring_retain_models_rollback_truncation() {
             ring.push_back(u64::MAX);
         }
         assert_eq!(ring.len(), capacity, "case {case}: refillable to capacity");
+    }
+}
+
+/// The hierarchical timing wheel pops in exactly the order a binary-heap
+/// oracle does — cycle-major, schedule-order-minor — under random bursts of
+/// near-future, duplicate-cycle, at-or-before-now and far-future (overflow
+/// level) schedules interleaved with random time advances, and `next_due` is
+/// always the oracle's exact minimum.
+#[test]
+fn event_wheel_matches_a_binary_heap_oracle() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    for case in 0..CASES {
+        let mut rng = TraceRng::seed_from_u64(0x9000 + case);
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut oracle: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for step in 0..300 {
+            let burst = rng.range_usize(0..5);
+            for _ in 0..burst {
+                let time = match rng.range_u64(0..10) {
+                    // Due immediately (the fabric's zero-hop fills).
+                    0 => now,
+                    // The wheel's level-0/1 windows (directory + hop latencies).
+                    1..=6 => now + rng.range_u64(0..200),
+                    7 | 8 => now + rng.range_u64(0..5_000),
+                    // Beyond every wheel level: the overflow path.
+                    _ => now + rng.range_u64(0..400_000),
+                };
+                wheel.schedule(time, seq);
+                oracle.push(Reverse((time, seq)));
+                seq += 1;
+            }
+            assert_eq!(wheel.len(), oracle.len(), "case {case} step {step}");
+            assert_eq!(
+                wheel.next_due(),
+                oracle.peek().map(|Reverse((t, _))| *t),
+                "case {case} step {step}: next_due must be exact"
+            );
+            now += rng.range_u64(0..300);
+            if rng.bool(0.1) {
+                // Occasionally jump far, forcing multi-window drains and
+                // cascades in one advance.
+                now += rng.range_u64(0..100_000);
+            }
+            while let Some((time, value)) = wheel.pop_due(now) {
+                assert!(time <= now, "case {case} step {step}: popped a future event");
+                let Reverse(expected) = oracle.pop().expect("oracle has the event");
+                assert_eq!((time, value), expected, "case {case} step {step}: pop order");
+            }
+            let stale = oracle.peek().is_some_and(|Reverse((t, _))| *t <= now);
+            assert!(!stale, "case {case} step {step}: wheel left a due event unpopped");
+        }
+        // Drain the tails so the full order is compared, not just the prefix.
+        now = now.saturating_add(500_000);
+        while let Some((time, value)) = wheel.pop_due(now) {
+            let Reverse(expected) = oracle.pop().expect("oracle has the event");
+            assert_eq!((time, value), expected, "case {case}: tail pop order");
+        }
+        assert!(oracle.is_empty() && wheel.is_empty(), "case {case}: both drained");
+    }
+}
+
+/// The precomputed routing table equals the arithmetic torus routing for
+/// every (from, to) pair on every width×height up to 16×16 — including the
+/// wrap-around columns and rows, where the shortest path crosses the torus
+/// seam.
+#[test]
+fn routing_table_matches_arithmetic_routing_up_to_16x16() {
+    let mut ic = InterconnectConfig::paper_torus();
+    ic.hop_latency = 7; // an odd latency, so hops*latency exposes any mixup
+    for width in 1..=16usize {
+        for height in 1..=16usize {
+            ic.mesh_width = width;
+            ic.mesh_height = height;
+            let table = ic.routing_table();
+            assert_eq!(table.nodes(), width * height);
+            for from in 0..table.nodes() {
+                for to in 0..table.nodes() {
+                    assert_eq!(
+                        table.hops(from, to),
+                        ic.hops(from, to),
+                        "{width}x{height} hops {from}->{to}"
+                    );
+                    assert_eq!(
+                        table.latency(from, to),
+                        ic.latency(from, to),
+                        "{width}x{height} latency {from}->{to}"
+                    );
+                }
+            }
+            // Wrap-around spot checks: torus neighbours across the seam are
+            // one hop apart.
+            if width > 1 {
+                assert_eq!(table.hops(0, width - 1), 1, "{width}x{height} row wrap");
+            }
+            if height > 1 {
+                assert_eq!(table.hops(0, (height - 1) * width), 1, "{width}x{height} column wrap");
+            }
+        }
     }
 }
 
