@@ -1,0 +1,121 @@
+//! Ablation: wall-clock cost of the structured trace layer — off (the
+//! default), and on with the full event vocabulary collecting into the
+//! per-shard rings.
+//!
+//! The always-on histograms are part of the baseline by design (they are in
+//! every run's `RunSummary`), so this bench isolates exactly what the
+//! `trace` flag adds: the per-event branch in every `TraceSink::emit` call
+//! site when off, and ring pushes plus the final merge/export when on.
+//! Simulated results are byte-identical either way (asserted here and in
+//! `tests/trace_equivalence.rs`); only the wall clock may differ, and the
+//! "off" column is the one the kernel is held to — tracing disabled must
+//! cost no more than a branch per instrumented site.
+//!
+//! Each mode appends its own `BENCH_results.json` row (detail "tracing off" /
+//! "tracing on"), so the perf trajectory tracks the overhead across
+//! invocations.
+
+use ifence_bench::{paper_params, print_header, BenchRun};
+use ifence_stats::ColumnTable;
+use ifence_types::{ConsistencyModel, EngineKind, MachineConfig};
+use ifence_workloads::presets;
+use std::time::Instant;
+
+/// Repetitions per cell (minimum taken): wall-clock comparisons on a shared
+/// machine need more than one sample per point.
+fn reps() -> usize {
+    std::env::var("IFENCE_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3).max(1)
+}
+
+#[derive(Clone)]
+struct Measured {
+    cycles: u64,
+    best_ms: f64,
+    events: usize,
+}
+
+fn timed_run(
+    engine: EngineKind,
+    trace: bool,
+    params: &ifence_sim::ExperimentParams,
+    workload: &ifence_workloads::WorkloadSpec,
+) -> Measured {
+    let mut measured = Measured { cycles: 0, best_ms: f64::INFINITY, events: 0 };
+    for rep in 0..reps() {
+        let mut cfg = MachineConfig::with_engine(engine);
+        cfg.seed = params.seed;
+        cfg.trace = trace;
+        let programs = workload.generate(cfg.cores, params.instructions_per_core, params.seed);
+        let machine = ifence_sim::Machine::new(cfg, programs).expect("valid config");
+        let start = Instant::now();
+        let (result, stream) = machine.into_result_with_trace(params.max_cycles);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert!(result.finished, "{}: run did not finish", engine.label());
+        if rep == 0 {
+            measured.cycles = result.cycles;
+            measured.events = stream.events.len();
+        } else {
+            assert_eq!(
+                measured.cycles,
+                result.cycles,
+                "{}: cycles differ across reps",
+                engine.label()
+            );
+        }
+        measured.best_ms = measured.best_ms.min(elapsed);
+    }
+    measured
+}
+
+fn main() {
+    let params = paper_params();
+    let _run = print_header(
+        "Ablation",
+        "trace overhead: structured event collection on vs off (results byte-identical)",
+        &params,
+    );
+    let workload = presets::apache();
+    let engines = [
+        EngineKind::Conventional(ConsistencyModel::Sc),
+        EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        EngineKind::InvisiContinuous { commit_on_violate: true },
+    ];
+    // Timed serially (never through the parallel sweep): concurrent cells
+    // would contend for cores and corrupt the wall-clock comparison. Mode by
+    // mode, so each mode's trajectory row times exactly its own runs.
+    let mut measured = vec![Vec::new(); engines.len()];
+    for (trace, detail) in [(false, "tracing off"), (true, "tracing on")] {
+        let _mode_run = BenchRun::start("ablation_trace_overhead", detail, &params);
+        for (i, engine) in engines.iter().enumerate() {
+            measured[i].push(timed_run(*engine, trace, &params, &workload));
+        }
+    }
+    let mut table =
+        ColumnTable::new(["engine", "cycles", "events", "off ms", "on ms", "on vs off"]);
+    for (engine, runs) in engines.iter().zip(&measured) {
+        let [off, on] = &runs[..] else {
+            unreachable!("two modes per engine");
+        };
+        assert_eq!(
+            off.cycles,
+            on.cycles,
+            "{}: tracing changed the simulated cycle count",
+            engine.label()
+        );
+        assert_eq!(off.events, 0, "{}: untraced run collected events", engine.label());
+        assert!(on.events > 0, "{}: traced run collected nothing", engine.label());
+        table.push_row([
+            engine.label(),
+            off.cycles.to_string(),
+            on.events.to_string(),
+            format!("{:.1}", off.best_ms),
+            format!("{:.1}", on.best_ms),
+            format!("{:.2}x", on.best_ms / off.best_ms.max(1e-9)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "(simulated results are byte-identical traced or not — the flag only toggles event \
+         collection; \"off\" is the default every figure and sweep runs under)"
+    );
+}

@@ -17,7 +17,7 @@ use crate::messages::{
 };
 use crate::slab::Slab;
 use ifence_mem::{BankedL2, BlockData, L2FillOutcome, LineState};
-use ifence_stats::FabricStats;
+use ifence_stats::{FabricStats, Log2Hist, TraceEvent, TraceKind, TraceSink};
 use ifence_types::{
     Addr, BlockAddr, CoreId, Cycle, FnvMap, InterconnectConfig, L2Config, MachineConfig,
     RoutingTable,
@@ -125,6 +125,13 @@ pub struct CoherenceFabric {
     deferred_acks: u64,
     total_transactions: u64,
     stats: FabricStats,
+    /// Latency of every demand access that missed in the L2 (cycles).
+    l2_miss_latency: Log2Hist,
+    /// Event-queue depth sampled at every schedule.
+    queue_depth: Log2Hist,
+    /// The fabric's trace shard; events are attributed to the block's home
+    /// node via [`TraceSink::emit_for`].
+    trace: TraceSink,
 }
 
 impl CoherenceFabric {
@@ -141,7 +148,30 @@ impl CoherenceFabric {
             deferred_acks: 0,
             total_transactions: 0,
             stats: FabricStats::new(),
+            l2_miss_latency: Log2Hist::new(),
+            queue_depth: Log2Hist::new(),
+            trace: TraceSink::default(),
         }
+    }
+
+    /// Turns on structured event tracing for the fabric shard (capacity 0
+    /// selects the default ring size). Tracing never changes fabric
+    /// behaviour.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace.enable(0, capacity);
+    }
+
+    /// The fabric-side telemetry histograms: L2 miss latency and event-queue
+    /// depth (the machine folds them into
+    /// [`ifence_stats::RunHistograms`]).
+    pub fn telemetry_hists(&self) -> (&Log2Hist, &Log2Hist) {
+        (&self.l2_miss_latency, &self.queue_depth)
+    }
+
+    /// Drains the fabric's trace shard (events in emission order plus the
+    /// ring's drop count).
+    pub fn take_trace(&mut self) -> (Vec<TraceEvent>, u64) {
+        self.trace.take()
     }
 
     /// The fabric configuration.
@@ -202,6 +232,7 @@ impl CoherenceFabric {
 
     fn schedule(&mut self, time: Cycle, kind: EventKind) {
         self.events.schedule(time, kind);
+        self.queue_depth.record(self.events.len() as u64);
     }
 
     fn latency(&self, from: CoreId, to: CoreId) -> u64 {
@@ -321,6 +352,13 @@ impl CoherenceFabric {
             L2FillOutcome::Installed { evicted } => {
                 if let Some(ev) = evicted {
                     self.stats.l2_evictions += 1;
+                    let ev_home = self.home(self.block_addr(ev.block));
+                    self.trace.emit_for(
+                        ev_home.index() as u32,
+                        now,
+                        TraceKind::L2Eviction,
+                        ev.dirty as u64,
+                    );
                     if ev.dirty {
                         self.dram.insert(ev.block, ev.data);
                         self.stats.dram_writebacks += 1;
@@ -328,7 +366,11 @@ impl CoherenceFabric {
                 }
                 self.stats.l2_misses += 1;
                 self.stats.dram_reads += 1;
-                Some(self.cfg.dram_latency)
+                let latency = self.cfg.dram_latency;
+                self.l2_miss_latency.record(latency);
+                let home = self.home(block);
+                self.trace.emit_for(home.index() as u32, now, TraceKind::DramFetch, latency);
+                Some(latency)
             }
             L2FillOutcome::NeedsRecall { victim } => {
                 self.start_recall(victim, now);
@@ -362,6 +404,7 @@ impl CoherenceFabric {
             fill_scheduled: false,
         });
         self.stats.l2_recalls += 1;
+        self.trace.emit_for(home.index() as u32, now, TraceKind::L2Recall, holders.len() as u64);
         for &holder in &holders {
             let deliver_at = now + self.latency(home, holder);
             self.schedule(
@@ -537,11 +580,13 @@ impl CoherenceFabric {
     /// Completes an inclusion recall: every holder has acknowledged, so the
     /// line leaves the L2 and its data (dirtied by any holder's writeback)
     /// lands in DRAM.
-    fn finalize_recall(&mut self, id: u64) {
+    fn finalize_recall(&mut self, id: u64, now: Cycle) {
         let Some(t) = self.txns.remove(id) else { return };
         debug_assert_eq!(t.kind, TxnKind::Recall);
         if let Some(ev) = self.l2.remove(t.block.number()) {
             self.stats.l2_evictions += 1;
+            let home = self.home(t.block);
+            self.trace.emit_for(home.index() as u32, now, TraceKind::L2Eviction, ev.dirty as u64);
             if ev.dirty {
                 self.dram.insert(ev.block, ev.data);
                 self.stats.dram_writebacks += 1;
@@ -575,7 +620,7 @@ impl CoherenceFabric {
                 };
                 if ready {
                     match kind {
-                        TxnKind::Recall => self.finalize_recall(id),
+                        TxnKind::Recall => self.finalize_recall(id, now),
                         TxnKind::GetS | TxnKind::GetM => self.schedule_fill(id, ack_arrives),
                     }
                 }

@@ -30,7 +30,7 @@ impl ConventionalEngine {
         match self.model {
             // SC and TSO push every store through the age-ordered FIFO buffer.
             ConsistencyModel::Sc | ConsistencyModel::Tso => {
-                match ctx.mem.store_to_sb(addr, value, None, ctx.now, &mut ctx.stats.counters) {
+                match ctx.mem.store_to_sb(addr, value, None, ctx.now, ctx.stats) {
                     Ok(()) => RetireOutcome::Retired,
                     Err(_) => RetireOutcome::Stall(StallReason::StoreBufferFull),
                 }
@@ -41,7 +41,7 @@ impl ConventionalEngine {
                 if ctx.mem.store_to_l1(addr, value, None, &mut ctx.stats.counters) {
                     return RetireOutcome::Retired;
                 }
-                match ctx.mem.store_to_sb(addr, value, None, ctx.now, &mut ctx.stats.counters) {
+                match ctx.mem.store_to_sb(addr, value, None, ctx.now, ctx.stats) {
                     Ok(()) => RetireOutcome::Retired,
                     Err(_) => RetireOutcome::Stall(StallReason::StoreBufferFull),
                 }

@@ -115,7 +115,7 @@ impl AsoEngine {
                 if ctx.mem.store_to_l1(addr, value, None, &mut ctx.stats.counters) {
                     return RetireOutcome::Retired;
                 }
-                match ctx.mem.store_to_sb(addr, value, None, ctx.now, &mut ctx.stats.counters) {
+                match ctx.mem.store_to_sb(addr, value, None, ctx.now, ctx.stats) {
                     Ok(()) => RetireOutcome::Retired,
                     Err(_) => RetireOutcome::Stall(StallReason::StoreBufferFull),
                 }
@@ -140,7 +140,7 @@ impl AsoEngine {
             let word = addr.word_in_block(ctx.mem.block_bytes()).index();
             ctx.mem.l1.write_word(block, word, value)
         } else {
-            ctx.mem.store_to_sb(addr, value, Some(epoch), ctx.now, &mut ctx.stats.counters).is_ok()
+            ctx.mem.store_to_sb(addr, value, Some(epoch), ctx.now, ctx.stats).is_ok()
         };
         if !stored {
             return RetireOutcome::Stall(StallReason::StoreBufferFull);
@@ -211,6 +211,8 @@ impl AsoEngine {
             mem.sb.flash_invalidate_exact((position + offset) as u8);
             cp.prov.abort_into(&mut stats.breakdown);
             stats.counters.speculations_aborted += 1;
+            stats.hists.episode_len.record(cp.retired as u64);
+            stats.trace.emit(ifence_stats::TraceKind::SpecAbort, cp.retired as u64);
             self.ssb_occupancy = self.ssb_occupancy.saturating_sub(cp.write_set.len());
         }
         if self.checkpoints.is_empty() {
@@ -223,10 +225,16 @@ impl AsoEngine {
     fn commit_all(&mut self, stats: &mut CoreStats, now: Cycle) {
         let drained_stores = self.ssb_occupancy as u64;
         self.committing_until = Some(now + drained_stores * self.ssb_cycles_per_store);
+        // ASO commits the whole atomic sequence as one speculation; its
+        // episode length is the sum over the sequence's checkpoints.
+        let mut retired = 0u64;
         for mut cp in self.checkpoints.drain(..) {
             cp.prov.commit_into(&mut stats.breakdown);
+            retired += cp.retired as u64;
         }
         stats.counters.speculations_committed += 1;
+        stats.hists.episode_len.record(retired);
+        stats.trace.emit(ifence_stats::TraceKind::SpecCommit, retired);
         self.ssb_occupancy = 0;
     }
 }
@@ -245,6 +253,7 @@ impl OrderingEngine for AsoEngine {
                 return RetireOutcome::Stall(StallReason::StoreBufferDrain);
             }
             ctx.stats.counters.speculations_started += 1;
+            ctx.stats.trace.emit(ifence_stats::TraceKind::SpecBegin, 1);
             self.checkpoints
                 .push(AsoCheckpoint { resume_at: ctx.checkpoint_index(), ..Default::default() });
             return self.retire_speculative(ctx);
@@ -372,6 +381,9 @@ impl OrderingEngine for AsoEngine {
     fn finalize(&mut self, _mem: &mut CoreMem, stats: &mut CoreStats) {
         if !self.checkpoints.is_empty() {
             stats.counters.speculations_committed += 1;
+            let retired: u64 = self.checkpoints.iter().map(|cp| cp.retired as u64).sum();
+            stats.hists.episode_len.record(retired);
+            stats.trace.emit(ifence_stats::TraceKind::SpecCommit, retired);
         }
         for mut cp in self.checkpoints.drain(..) {
             cp.prov.commit_into(&mut stats.breakdown);

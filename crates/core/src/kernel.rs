@@ -20,7 +20,7 @@
 //! types that embed this kernel.
 
 use ifence_cpu::{CoreMem, RetireCtx, RetireOutcome};
-use ifence_stats::{CoreStats, ProvisionalBreakdown};
+use ifence_stats::{CoreStats, ProvisionalBreakdown, TraceKind};
 use ifence_types::{Addr, BlockAddr, Cycle, CycleClass, InstrKind, StallReason};
 
 /// One in-flight speculative episode (one register checkpoint).
@@ -101,6 +101,7 @@ impl SpeculationKernel {
         let slot = (0..2).find(|s| !used.contains(s))?;
         self.episodes.push(Episode { slot, checkpoint, retired: 0 });
         stats.counters.speculations_started += 1;
+        stats.trace.emit(TraceKind::SpecBegin, self.episodes.len() as u64);
         Some(slot)
     }
 
@@ -124,7 +125,7 @@ impl SpeculationKernel {
         {
             return RetireOutcome::Retired;
         }
-        match ctx.mem.store_to_sb(addr, value, Some(slot as u8), ctx.now, &mut ctx.stats.counters) {
+        match ctx.mem.store_to_sb(addr, value, Some(slot as u8), ctx.now, ctx.stats) {
             Ok(()) => RetireOutcome::Retired,
             Err(_) => RetireOutcome::Stall(StallReason::StoreBufferFull),
         }
@@ -208,6 +209,8 @@ impl SpeculationKernel {
         mem.l1.flash_clear_epoch(oldest.slot);
         self.prov[oldest.slot].commit_into(&mut stats.breakdown);
         stats.counters.speculations_committed += 1;
+        stats.hists.episode_len.record(oldest.retired as u64);
+        stats.trace.emit(TraceKind::SpecCommit, oldest.retired as u64);
         true
     }
 
@@ -222,6 +225,8 @@ impl SpeculationKernel {
             mem.l1.flash_clear_epoch(ep.slot);
             self.prov[ep.slot].commit_into(&mut stats.breakdown);
             stats.counters.speculations_committed += 1;
+            stats.hists.episode_len.record(ep.retired as u64);
+            stats.trace.emit(TraceKind::SpecCommit, ep.retired as u64);
         }
         true
     }
@@ -245,6 +250,8 @@ impl SpeculationKernel {
             mem.sb.flash_invalidate_exact(ep.slot as u8);
             self.prov[ep.slot].abort_into(&mut stats.breakdown);
             stats.counters.speculations_aborted += 1;
+            stats.hists.episode_len.record(ep.retired as u64);
+            stats.trace.emit(TraceKind::SpecAbort, ep.retired as u64);
         }
         resume_at
     }
@@ -288,6 +295,8 @@ impl SpeculationKernel {
             mem.l1.flash_clear_epoch(ep.slot);
             self.prov[ep.slot].commit_into(&mut stats.breakdown);
             stats.counters.speculations_committed += 1;
+            stats.hists.episode_len.record(ep.retired as u64);
+            stats.trace.emit(TraceKind::SpecCommit, ep.retired as u64);
         }
     }
 }

@@ -98,7 +98,7 @@ impl InvisiSelectiveEngine {
         if ctx.mem.store_to_l1(addr, value, None, &mut ctx.stats.counters) {
             return NonSpecOutcome::Retired;
         }
-        match ctx.mem.store_to_sb(addr, value, None, ctx.now, &mut ctx.stats.counters) {
+        match ctx.mem.store_to_sb(addr, value, None, ctx.now, ctx.stats) {
             Ok(()) => NonSpecOutcome::Retired,
             Err(_) => NonSpecOutcome::Stall(StallReason::StoreBufferFull),
         }

@@ -7,7 +7,7 @@ use crate::engine::{
 use crate::mem_side::CoreMem;
 use crate::rob::Rob;
 use ifence_coherence::{CoherenceRequest, Delivery, FabricInput, SnoopReply, TxnId};
-use ifence_stats::CoreStats;
+use ifence_stats::{CoreStats, TraceKind};
 use ifence_types::{
     earliest_wake, BlockAddr, BoxedSource, CoreActivity, CoreConfig, CoreId, Cycle, CycleClass,
     InstrKind, MachineConfig, Program, ProgramSource, StallReason,
@@ -139,6 +139,37 @@ impl Core {
     /// Statistics gathered so far.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Turns on structured event tracing for this core (capacity 0 selects
+    /// the default ring size). Tracing never changes simulated behaviour;
+    /// see [`ifence_stats::TraceSink`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.stats.trace.enable(self.id.index() as u32, capacity);
+    }
+
+    /// Stamps the trace sink's cycle clock. The machine calls this with the
+    /// final cycle before [`Core::finalize`] so finalize-time emissions carry
+    /// the same cycle in every kernel mode (the dense loop keeps stepping
+    /// finished cores, the event-driven one does not).
+    pub fn stamp_trace(&mut self, now: Cycle) {
+        self.stats.trace.set_now(now);
+    }
+
+    /// Drains this core's trace shard (events in emission order plus the
+    /// ring's drop count).
+    pub fn take_trace(&mut self) -> (Vec<ifence_stats::TraceEvent>, u64) {
+        self.stats.trace.take()
+    }
+
+    /// Emits the structured deadlock diagnostic: one [`TraceKind::Deadlock`]
+    /// event carrying this core's pipeline snapshot. No-op when tracing is
+    /// off (the snapshot string is never built).
+    pub fn trace_deadlock(&mut self, now: Cycle) {
+        if self.stats.trace.is_enabled() {
+            let snapshot = self.debug_snapshot(now);
+            self.stats.trace.emit_detail(now, TraceKind::Deadlock, 0, snapshot);
+        }
     }
 
     /// Number of instructions architecturally retired (not counting
@@ -281,6 +312,7 @@ impl Core {
     /// Handles one delivery from the coherence fabric, returning the snoop
     /// reply to send back (external requests only; fills need no reply).
     pub fn handle_delivery(&mut self, delivery: Delivery, now: Cycle) -> Option<SnoopReply> {
+        self.stats.trace.set_now(now);
         match delivery {
             Delivery::Fill { block, state, data, .. } => {
                 if self.mem.l1.fill_would_evict_spec(block) {
@@ -382,6 +414,9 @@ impl Core {
             }
             ExternalOutcome::Defer { until } => {
                 self.stats.counters.cov_deferrals += 1;
+                let window = until.saturating_sub(now);
+                self.stats.hists.deferral.record(window);
+                self.stats.trace.emit_at(now, TraceKind::CovDeferStart, window);
                 self.deferred.push(DeferredSnoop { txn, block, kind, deadline: until });
                 SnoopReply::Defer { core: self.id, txn }
             }
@@ -430,11 +465,13 @@ impl Core {
             match resolution {
                 DeferResolution::Wait => still_deferred.push(d),
                 DeferResolution::Ack => {
+                    self.stats.trace.emit_at(now, TraceKind::CovDeferEnd, 0);
                     self.in_window_snoop(d.block, d.kind);
                     let reply = self.apply_and_ack(d.block, d.kind, d.txn);
                     self.pending_replies.push(reply);
                 }
                 DeferResolution::AckAfterRollback { resume_at } => {
+                    self.stats.trace.emit_at(now, TraceKind::CovDeferEnd, 1);
                     self.rollback(resume_at);
                     let reply = self.apply_and_ack(d.block, d.kind, d.txn);
                     self.pending_replies.push(reply);
@@ -657,6 +694,7 @@ impl Core {
     /// event-driven kernel's scheduling contract; see
     /// [`ifence_types::CoreActivity`]).
     pub fn step(&mut self, now: Cycle) -> CoreActivity {
+        self.stats.trace.set_now(now);
         let speculating_before = self.engine.speculating();
 
         // 1. Engine maintenance (opportunistic commit, chunk management, CoV).
@@ -782,6 +820,7 @@ impl Core {
     /// attribution and the returned [`CoreActivity`] are identical and
     /// results stay byte-identical to the other two kernels.
     fn batch_cycle(&mut self, now: Cycle) -> CoreActivity {
+        self.stats.trace.set_now(now);
         let speculating_before = self.engine.speculating();
         // An empty buffer makes the drain stage a no-op; skipping the call
         // avoids its candidate-collection allocation on the hot path.
@@ -1233,7 +1272,7 @@ mod tests {
         }
         fn try_retire(&mut self, ctx: &mut RetireCtx<'_>) -> RetireOutcome {
             if let InstrKind::Store(addr, value) = ctx.entry.instr.kind {
-                let _ = ctx.mem.store_to_sb(addr, value, None, ctx.now, &mut ctx.stats.counters);
+                let _ = ctx.mem.store_to_sb(addr, value, None, ctx.now, ctx.stats);
             }
             RetireOutcome::Retired
         }

@@ -266,7 +266,7 @@ impl OrderingEngine for FreeRetireEngine {
                 if ctx.mem.store_to_l1(addr, value, None, &mut ctx.stats.counters) {
                     return RetireOutcome::Retired;
                 }
-                match ctx.mem.store_to_sb(addr, value, None, ctx.now, &mut ctx.stats.counters) {
+                match ctx.mem.store_to_sb(addr, value, None, ctx.now, ctx.stats) {
                     Ok(()) => RetireOutcome::Retired,
                     Err(_) => RetireOutcome::Stall(StallReason::StoreBufferFull),
                 }

@@ -80,6 +80,7 @@ pub struct StoreBuffer {
     kind: StoreBufferKind,
     capacity: usize,
     block_bytes: usize,
+    high_water: usize,
     organization: Organization,
 }
 
@@ -99,6 +100,7 @@ impl StoreBuffer {
             kind: StoreBufferKind::FifoWord,
             capacity,
             block_bytes,
+            high_water: 0,
             organization: Organization::Fifo(Ring::with_capacity(capacity)),
         }
     }
@@ -109,6 +111,7 @@ impl StoreBuffer {
             kind: StoreBufferKind::CoalescingBlock,
             capacity,
             block_bytes,
+            high_water: 0,
             organization: Organization::Coalescing(Vec::new()),
         }
     }
@@ -119,6 +122,7 @@ impl StoreBuffer {
             kind: StoreBufferKind::Scalable,
             capacity,
             block_bytes,
+            high_water: 0,
             organization: Organization::Scalable(Ring::with_capacity(capacity)),
         }
     }
@@ -150,6 +154,13 @@ impl StoreBuffer {
     /// Returns true if no further store can be inserted.
     pub fn is_full(&self) -> bool {
         self.len() >= self.capacity
+    }
+
+    /// The highest occupancy [`StoreBuffer::push`] has ever produced (never
+    /// reset — it tracks the whole run, the "high-water transitions" the
+    /// telemetry layer reports).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     fn block_of(&self, addr: Addr) -> BlockAddr {
@@ -184,7 +195,6 @@ impl StoreBuffer {
                     return Err(SbError::Full);
                 }
                 q.push_back(WordStore { addr, block, word, value, epoch });
-                Ok(())
             }
             Organization::Coalescing(v) => {
                 if let Some(e) = v.iter_mut().find(|e| e.block == block && e.epoch == epoch) {
@@ -198,9 +208,10 @@ impl StoreBuffer {
                 let mut data = BlockData::zeroed();
                 data.set_word(word, value);
                 v.push(SbEntry { block, word_mask: 1 << word, data, epoch });
-                Ok(())
             }
         }
+        self.high_water = self.high_water.max(self.len());
+        Ok(())
     }
 
     /// Returns the youngest buffered value for the word at `addr`, if any
@@ -448,6 +459,30 @@ mod tests {
         let e = sb.drain_block(blk(0x100)).unwrap();
         assert_eq!(e.word_mask, 0b0000_0111);
         assert_eq!(e.data.word(1), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy_not_merges() {
+        let mut sb = StoreBuffer::new_fifo(4, 64);
+        assert_eq!(sb.high_water(), 0);
+        sb.push(Addr::new(0x100), 1, None).unwrap();
+        sb.push(Addr::new(0x200), 2, None).unwrap();
+        assert_eq!(sb.high_water(), 2);
+        // Draining lowers occupancy but never the high-water mark.
+        sb.drain_block(blk(0x100)).unwrap();
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.high_water(), 2);
+        sb.push(Addr::new(0x300), 3, None).unwrap();
+        assert_eq!(sb.high_water(), 2, "refilling to a prior peak does not raise the mark");
+
+        // A coalescing merge does not change occupancy, so it cannot move the
+        // mark either.
+        let mut sb = StoreBuffer::new_coalescing(2, 64);
+        sb.push(Addr::new(0x100), 1, None).unwrap();
+        assert_eq!(sb.high_water(), 1);
+        sb.push(Addr::new(0x108), 2, None).unwrap();
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.high_water(), 1);
     }
 
     #[test]

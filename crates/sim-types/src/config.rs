@@ -453,6 +453,14 @@ pub struct MachineConfig {
     /// count; the dense debug kernel always runs serially. Overridable at
     /// run time with `IFENCE_THREADS`.
     pub machine_threads: usize,
+    /// Collect structured trace events (speculation begin/commit/abort, CoV
+    /// deferral start/end, store-buffer high-water marks, L2
+    /// eviction/recall, DRAM fetch, deadlock diagnostics) during the run.
+    /// Tracing never changes any simulated result — the trace stream is a
+    /// pure observation, byte-identical across all six kernel modes — so it
+    /// defaults to off purely for speed and memory; `IFENCE_TRACE=1`
+    /// enables it at run time.
+    pub trace: bool,
 }
 
 impl MachineConfig {
@@ -488,6 +496,7 @@ impl MachineConfig {
             dense_kernel: false,
             batch_kernel: true,
             machine_threads: 1,
+            trace: false,
         }
     }
 

@@ -61,7 +61,10 @@ use ifence_coherence::{
     CoherenceFabric, CoherenceRequest, Delivery, EventQueue, FabricConfig, SnoopReply,
 };
 use ifence_cpu::{Core, CoreSleep};
-use ifence_stats::{CoreStats, FabricStats, Phase, PhaseProfile, PhaseTimer, RunSummary};
+use ifence_stats::{
+    CoreStats, FabricStats, MachineTrace, Phase, PhaseProfile, PhaseTimer, RunHistograms,
+    RunSummary,
+};
 use ifence_types::{
     earliest_wake, BoxedSource, CoreId, Cycle, MachineConfig, Program, ProgramSource,
 };
@@ -101,6 +104,9 @@ pub struct MachineResult {
     /// Memory-hierarchy counters gathered by the coherence fabric (L2
     /// hits/misses/evictions/recalls, DRAM traffic).
     pub fabric: FabricStats,
+    /// Machine-wide telemetry histograms: the per-core three merged with the
+    /// fabric's L2-miss-latency and queue-depth histograms.
+    pub histograms: RunHistograms,
     /// Values observed by each core's retired loads (for litmus checking).
     pub load_results: Vec<Vec<(usize, u64)>>,
     /// The configuration label (engine name) the machine ran under.
@@ -110,13 +116,17 @@ pub struct MachineResult {
 impl MachineResult {
     /// Summarises the run for figure production.
     pub fn summary(&self, workload: impl Into<String>) -> RunSummary {
-        RunSummary::from_parts(
+        let mut summary = RunSummary::from_parts(
             self.config_label.clone(),
             workload,
             self.cycles,
             &self.per_core,
             self.fabric,
-        )
+        );
+        // `from_parts` only sees the per-core histograms; this result also
+        // carries the fabric's two.
+        summary.histograms = self.histograms.clone();
+        summary
     }
 }
 
@@ -210,8 +220,8 @@ impl Machine {
                 message: format!("{} sources provided for {} cores", sources.len(), cfg.cores),
             });
         }
-        let fabric = CoherenceFabric::new(FabricConfig::from_machine(&cfg));
-        let cores: Vec<Core> = sources
+        let mut fabric = CoherenceFabric::new(FabricConfig::from_machine(&cfg));
+        let mut cores: Vec<Core> = sources
             .into_iter()
             .enumerate()
             .map(|(i, source)| {
@@ -225,6 +235,12 @@ impl Machine {
         } else {
             env_threads_override().unwrap_or(cfg.machine_threads).clamp(1, cores.len())
         };
+        if cfg.trace || env_trace_override() {
+            for core in &mut cores {
+                core.enable_trace(0);
+            }
+            fabric.enable_trace(0);
+        }
         let sleeping = vec![None; cores.len()];
         let awake = (0..cores.len()).collect();
         Ok(Machine {
@@ -554,10 +570,41 @@ impl Machine {
         let (deadlocked, deadlock_diagnostic) = self.run_loop(max_cycles);
         self.wake_all();
         let finished = self.all_finished();
+        let final_now = self.now;
+        if deadlocked {
+            // The structured twin of the free-text diagnostic: one Deadlock
+            // event per core, carrying that core's pipeline snapshot.
+            for core in &mut self.cores {
+                core.trace_deadlock(final_now);
+            }
+        }
         for core in &mut self.cores {
+            // Stamp the sink before folding open speculation in, so the
+            // finalize-time emissions carry the final cycle in every kernel
+            // mode (the dense loop keeps stepping finished cores — and
+            // therefore re-stamping their sinks — the event-driven one
+            // does not).
+            core.stamp_trace(final_now);
             core.finalize();
         }
         (finished, deadlocked, deadlock_diagnostic)
+    }
+
+    /// The machine-wide telemetry histograms, assembled from every core's
+    /// and the fabric's (only meaningful once the run has finalised).
+    fn collect_histograms(&self) -> RunHistograms {
+        let cores: Vec<_> = self.cores.iter().map(|c| c.stats().hists.clone()).collect();
+        let (l2_miss_latency, queue_depth) = self.fabric.telemetry_hists();
+        RunHistograms::from_parts(&cores, l2_miss_latency.clone(), queue_depth.clone())
+    }
+
+    /// Drains every trace shard (cores in core order, then the fabric) and
+    /// merges them into the canonical cycle-major, core-minor order. Empty
+    /// unless tracing was enabled.
+    pub fn take_trace(&mut self) -> MachineTrace {
+        let mut shards: Vec<_> = self.cores.iter_mut().map(Core::take_trace).collect();
+        shards.push(self.fabric.take_trace());
+        MachineTrace::from_shards(shards)
     }
 
     /// Runs until every core finishes, a deadlock is detected, or
@@ -571,6 +618,7 @@ impl Machine {
             finished,
             deadlocked,
             deadlock_diagnostic,
+            histograms: self.collect_histograms(),
             per_core: self.cores.iter().map(|c| c.stats().clone()).collect(),
             fabric: *self.fabric.stats(),
             load_results: self.cores.iter().map(|c| c.load_results().to_vec()).collect(),
@@ -581,21 +629,31 @@ impl Machine {
     /// Runs like [`Machine::run`] but consumes the machine, *moving* every
     /// core's statistics and load results into the result instead of cloning
     /// them — the finalisation path the experiment runners use.
-    pub fn into_result(mut self, max_cycles: Cycle) -> MachineResult {
+    pub fn into_result(self, max_cycles: Cycle) -> MachineResult {
+        self.into_result_with_trace(max_cycles).0
+    }
+
+    /// Runs like [`Machine::into_result`] and also returns the merged
+    /// machine trace (empty unless the machine was built with tracing on).
+    pub fn into_result_with_trace(mut self, max_cycles: Cycle) -> (MachineResult, MachineTrace) {
         let (finished, deadlocked, deadlock_diagnostic) = self.finalise(max_cycles);
+        let trace = self.take_trace();
+        let histograms = self.collect_histograms();
         let config_label = self.cfg.engine.label();
         let fabric = *self.fabric.stats();
         let (per_core, load_results) = self.cores.into_iter().map(Core::into_parts).unzip();
-        MachineResult {
+        let result = MachineResult {
             cycles: self.now,
             finished,
             deadlocked,
             deadlock_diagnostic,
+            histograms,
             per_core,
             fabric,
             load_results,
             config_label,
-        }
+        };
+        (result, trace)
     }
 }
 
@@ -629,6 +687,17 @@ fn env_dense_override() -> bool {
 fn env_batch_disabled() -> bool {
     match std::env::var("IFENCE_BATCH") {
         Ok(raw) => parse_dense_flag(&raw) == Some(false),
+        Err(_) => false,
+    }
+}
+
+/// True when the `IFENCE_TRACE` environment variable turns on structured
+/// event tracing (see [`MachineConfig::trace`]). The environment can only
+/// turn tracing *on*; unrecognised values are treated as unset, mirroring
+/// `IFENCE_DENSE`.
+fn env_trace_override() -> bool {
+    match std::env::var("IFENCE_TRACE") {
+        Ok(raw) => parse_dense_flag(&raw).unwrap_or(false),
         Err(_) => false,
     }
 }

@@ -8,7 +8,7 @@
 //! diagnostics — such as archiving a litmus run or a deadlock repro.
 
 use crate::machine::MachineResult;
-use ifence_stats::{CoreStats, FabricStats};
+use ifence_stats::{CoreStats, FabricStats, RunHistograms};
 use ifence_store::{CodecError, Json, JsonCodec};
 
 impl JsonCodec for MachineResult {
@@ -26,6 +26,7 @@ impl JsonCodec for MachineResult {
             ),
             ("per_core".to_string(), self.per_core.to_json()),
             ("fabric".to_string(), self.fabric.to_json()),
+            ("histograms".to_string(), self.histograms.to_json()),
             (
                 "load_results".to_string(),
                 Json::Array(
@@ -96,6 +97,7 @@ impl JsonCodec for MachineResult {
             },
             per_core: Vec::<CoreStats>::from_json(get("per_core")?)?,
             fabric: FabricStats::from_json(get("fabric")?)?,
+            histograms: RunHistograms::from_json(get("histograms")?)?,
             load_results,
             config_label: match get("config_label")? {
                 Json::Str(s) => s.clone(),

@@ -16,6 +16,11 @@
 //! wall-clock accumulation over the simulation kernel's phases, which
 //! measures the simulator rather than the simulated machine.
 //!
+//! The deterministic telemetry layer lives here too: always-on
+//! log2-bucketed histograms ([`hist`]) of episode/deferral/occupancy/latency
+//! distributions, and the opt-in structured trace-event layer ([`trace`])
+//! whose merged stream is byte-identical across all six kernel modes.
+//!
 //! # Example
 //!
 //! ```
@@ -35,24 +40,47 @@
 pub mod breakdown;
 pub mod counters;
 pub mod fabric;
+pub mod hist;
 pub mod profile;
 pub mod report;
+pub mod trace;
 
 pub use breakdown::{CycleBreakdown, ProvisionalBreakdown};
 pub use counters::SimCounters;
 pub use fabric::FabricStats;
+pub use hist::{CoreHists, Log2Hist, RunHistograms, LOG2_BUCKETS};
 pub use profile::{Phase, PhaseProfile, PhaseTimer, ProfileSnapshot};
 pub use report::{confidence_interval_95, mean, ColumnTable, RunSummary};
+pub use trace::{MachineTrace, TraceEvent, TraceKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 
 use ifence_types::CycleClass;
 
 /// Per-core statistics gathered during one simulation run.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality compares the *simulated* state only — breakdown, counters and
+/// histograms. The trace sink is observability plumbing (its contents are a
+/// function of the same simulated execution, but it is drained separately
+/// and never serialized with the stats), so it is excluded: a traced and an
+/// untraced run produce equal `CoreStats`.
+#[derive(Debug, Clone, Default)]
 pub struct CoreStats {
     /// Cycle-by-cycle attribution.
     pub breakdown: CycleBreakdown,
     /// Event counters.
     pub counters: SimCounters,
+    /// Always-on log2 histograms of this core's episode, deferral and
+    /// store-buffer-occupancy distributions.
+    pub hists: CoreHists,
+    /// Opt-in structured trace-event shard (disabled by default).
+    pub trace: TraceSink,
+}
+
+impl PartialEq for CoreStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.breakdown == other.breakdown
+            && self.counters == other.counters
+            && self.hists == other.hists
+    }
 }
 
 impl CoreStats {
@@ -62,10 +90,12 @@ impl CoreStats {
     }
 
     /// Merges another core's statistics into this one (used to aggregate a
-    /// whole machine).
+    /// whole machine). Trace shards are not merged — they are drained per
+    /// core and canonically ordered by [`MachineTrace::from_shards`].
     pub fn merge(&mut self, other: &CoreStats) {
         self.breakdown.merge(&other.breakdown);
         self.counters.merge(&other.counters);
+        self.hists.merge(&other.hists);
     }
 
     /// Fraction of cycles spent in post-retirement speculation
@@ -126,5 +156,29 @@ mod tests {
         let s = CoreStats::new();
         assert_eq!(s.speculation_fraction(), 0.0);
         assert_eq!(s.ordering_penalty_fraction(), 0.0);
+    }
+
+    #[test]
+    fn equality_ignores_the_trace_sink_but_not_histograms() {
+        let mut traced = CoreStats::new();
+        traced.trace.enable(0, 0);
+        traced.trace.emit_at(5, trace::TraceKind::SpecBegin, 1);
+        let untraced = CoreStats::new();
+        assert_eq!(traced, untraced, "trace state must not affect equality");
+        let mut with_hist = CoreStats::new();
+        with_hist.hists.episode_len.record(4);
+        assert_ne!(with_hist, untraced, "histograms are simulated state");
+    }
+
+    #[test]
+    fn merge_aggregates_histograms() {
+        let mut a = CoreStats::new();
+        a.hists.episode_len.record(8);
+        let mut b = CoreStats::new();
+        b.hists.episode_len.record(16);
+        b.hists.deferral.record(100);
+        a.merge(&b);
+        assert_eq!(a.hists.episode_len.count(), 2);
+        assert_eq!(a.hists.deferral.count(), 1);
     }
 }

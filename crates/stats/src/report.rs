@@ -1,7 +1,7 @@
 //! Derived results: run summaries, speedups, confidence intervals and
 //! plain-text tables used by the figure harness.
 
-use crate::{CoreStats, CycleBreakdown, FabricStats, SimCounters};
+use crate::{CoreStats, CycleBreakdown, FabricStats, RunHistograms, SimCounters};
 use ifence_types::Cycle;
 use std::fmt;
 
@@ -20,6 +20,9 @@ pub struct RunSummary {
     pub counters: SimCounters,
     /// Shared-L2 / DRAM counters gathered by the coherence fabric.
     pub fabric: FabricStats,
+    /// Machine-wide telemetry histograms (episode length, deferral window,
+    /// store-buffer occupancy, L2 miss latency, fabric queue depth).
+    pub histograms: RunHistograms,
     /// Fraction of cycles spent speculating (Figure 10).
     pub speculation_fraction: f64,
 }
@@ -58,6 +61,15 @@ impl RunSummary {
             breakdown: agg.breakdown,
             counters: agg.counters,
             fabric,
+            // The per-core histograms aggregate here; the fabric's two are
+            // only known to the machine, which overwrites this field in
+            // `MachineResult::summary`.
+            histograms: RunHistograms {
+                episode_len: agg.hists.episode_len,
+                deferral: agg.hists.deferral,
+                sb_occupancy: agg.hists.sb_occupancy,
+                ..Default::default()
+            },
             speculation_fraction,
         }
     }

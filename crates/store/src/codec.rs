@@ -10,7 +10,10 @@
 //! invalidate old entries instead of misreading them).
 
 use crate::json::Json;
-use ifence_stats::{CoreStats, CycleBreakdown, FabricStats, RunSummary, SimCounters};
+use ifence_stats::{
+    CoreHists, CoreStats, CycleBreakdown, FabricStats, Log2Hist, MachineTrace, RunHistograms,
+    RunSummary, SimCounters, TraceEvent, TraceKind,
+};
 use ifence_types::{
     CacheConfig, ConsistencyModel, CoreConfig, CycleClass, DramConfig, EngineKind,
     InterconnectConfig, L2Config, MachineConfig, SpeculationConfig, StoreBufferConfig,
@@ -340,6 +343,7 @@ impl JsonCodec for MachineConfig {
             ("dense_kernel", Json::Bool(self.dense_kernel)),
             ("batch_kernel", Json::Bool(self.batch_kernel)),
             ("machine_threads", us(self.machine_threads)),
+            ("trace", Json::Bool(self.trace)),
         ])
     }
 
@@ -359,6 +363,7 @@ impl JsonCodec for MachineConfig {
             dense_kernel: f.bool("dense_kernel")?,
             batch_kernel: f.bool("batch_kernel")?,
             machine_threads: f.usize("machine_threads")?,
+            trace: f.bool("trace")?,
         })
     }
 }
@@ -488,15 +493,170 @@ impl JsonCodec for FabricStats {
     }
 }
 
+/// Histograms encode sparsely — `[index, count]` pairs for the non-empty
+/// buckets — plus the exact accumulators, so an empty histogram is a few
+/// bytes, not 65 zeros.
+impl JsonCodec for Log2Hist {
+    fn to_json(&self) -> Json {
+        let buckets = self
+            .nonzero()
+            .map(|(index, count)| Json::Array(vec![us(index), uint(count)]))
+            .collect();
+        obj(vec![
+            ("count", uint(self.count())),
+            ("sum", uint(self.sum())),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, CodecError> {
+        let f = Fields::new(doc, "Log2Hist")?;
+        let pairs = match f.get("buckets")? {
+            Json::Array(items) => items
+                .iter()
+                .map(|item| match item {
+                    Json::Array(pair) if pair.len() == 2 => {
+                        let index = pair[0].as_u64().and_then(|n| usize::try_from(n).ok());
+                        match (index, pair[1].as_u64()) {
+                            (Some(i), Some(c)) => Ok((i, c)),
+                            _ => Err(CodecError::new("Log2Hist", "bucket pair is not two u64s")),
+                        }
+                    }
+                    _ => Err(CodecError::new("Log2Hist", "bucket is not an [index, count] pair")),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(CodecError::new("Log2Hist", "buckets is not an array")),
+        };
+        Log2Hist::from_sparse(&pairs, f.u64("count")?, f.u64("sum")?)
+            .ok_or_else(|| CodecError::new("Log2Hist", "bucket index out of range"))
+    }
+}
+
+impl JsonCodec for CoreHists {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("episode_len", self.episode_len.to_json()),
+            ("deferral", self.deferral.to_json()),
+            ("sb_occupancy", self.sb_occupancy.to_json()),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, CodecError> {
+        let f = Fields::new(doc, "CoreHists")?;
+        Ok(CoreHists {
+            episode_len: f.decode("episode_len")?,
+            deferral: f.decode("deferral")?,
+            sb_occupancy: f.decode("sb_occupancy")?,
+        })
+    }
+}
+
+impl JsonCodec for RunHistograms {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("episode_len", self.episode_len.to_json()),
+            ("deferral", self.deferral.to_json()),
+            ("sb_occupancy", self.sb_occupancy.to_json()),
+            ("l2_miss_latency", self.l2_miss_latency.to_json()),
+            ("fabric_queue_depth", self.fabric_queue_depth.to_json()),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, CodecError> {
+        let f = Fields::new(doc, "RunHistograms")?;
+        Ok(RunHistograms {
+            episode_len: f.decode("episode_len")?,
+            deferral: f.decode("deferral")?,
+            sb_occupancy: f.decode("sb_occupancy")?,
+            l2_miss_latency: f.decode("l2_miss_latency")?,
+            fabric_queue_depth: f.decode("fabric_queue_depth")?,
+        })
+    }
+}
+
+/// The trace sink is deliberately absent: trace events are drained into a
+/// `MachineTrace` and exported as JSONL (see [`trace_to_jsonl`]), never
+/// serialized with the stats — which is what keeps traced and untraced
+/// results byte-identical.
 impl JsonCodec for CoreStats {
     fn to_json(&self) -> Json {
-        obj(vec![("breakdown", self.breakdown.to_json()), ("counters", self.counters.to_json())])
+        obj(vec![
+            ("breakdown", self.breakdown.to_json()),
+            ("counters", self.counters.to_json()),
+            ("hists", self.hists.to_json()),
+        ])
     }
 
     fn from_json(doc: &Json) -> Result<Self, CodecError> {
         let f = Fields::new(doc, "CoreStats")?;
-        Ok(CoreStats { breakdown: f.decode("breakdown")?, counters: f.decode("counters")? })
+        Ok(CoreStats {
+            breakdown: f.decode("breakdown")?,
+            counters: f.decode("counters")?,
+            hists: f.decode("hists")?,
+            trace: Default::default(),
+        })
     }
+}
+
+impl JsonCodec for TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("cycle", uint(self.cycle)),
+            ("core", uint(u64::from(self.core))),
+            ("kind", Json::Str(self.kind.label().to_string())),
+            ("value", uint(self.value)),
+        ];
+        if let Some(detail) = &self.detail {
+            fields.push(("detail", Json::Str(detail.clone())));
+        }
+        obj(fields)
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, CodecError> {
+        let f = Fields::new(doc, "TraceEvent")?;
+        let kind_label = f.string("kind")?;
+        let kind = TraceKind::from_label(&kind_label)
+            .ok_or_else(|| CodecError::new("TraceEvent", format!("unknown kind {kind_label:?}")))?;
+        let detail = match doc.field("detail") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(CodecError::new("TraceEvent", "detail is not a string")),
+        };
+        let core = u32::try_from(f.u64("core")?)
+            .map_err(|_| CodecError::new("TraceEvent", "core overflows u32"))?;
+        Ok(TraceEvent { cycle: f.u64("cycle")?, core, kind, value: f.u64("value")?, detail })
+    }
+}
+
+/// Encodes a merged trace as JSONL: one canonical-order event per line,
+/// trailing newline, no header — the byte stream the kernel-mode
+/// equivalence suite and `ifence trace diff` compare.
+pub fn trace_to_jsonl(trace: &MachineTrace) -> String {
+    let mut out = String::new();
+    for event in &trace.events {
+        out.push_str(&event.to_json().encode());
+        out.push('\n');
+    }
+    out
+}
+
+/// Decodes a JSONL trace stream (the inverse of [`trace_to_jsonl`]; blank
+/// lines are ignored, ring-drop counts are not part of the stream).
+///
+/// # Errors
+/// Returns a [`CodecError`] naming the first malformed line.
+pub fn trace_from_jsonl(text: &str) -> Result<MachineTrace, CodecError> {
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line)
+            .map_err(|e| CodecError::new("MachineTrace", format!("bad JSONL line: {e}")))?;
+        events.push(TraceEvent::from_json(&doc)?);
+    }
+    Ok(MachineTrace { events, dropped: 0 })
 }
 
 impl JsonCodec for RunSummary {
@@ -508,6 +668,7 @@ impl JsonCodec for RunSummary {
             ("breakdown", self.breakdown.to_json()),
             ("counters", self.counters.to_json()),
             ("fabric", self.fabric.to_json()),
+            ("histograms", self.histograms.to_json()),
             ("speculation_fraction", Json::Float(self.speculation_fraction)),
         ])
     }
@@ -521,6 +682,7 @@ impl JsonCodec for RunSummary {
             breakdown: f.decode("breakdown")?,
             counters: f.decode("counters")?,
             fabric: f.decode("fabric")?,
+            histograms: f.decode("histograms")?,
             speculation_fraction: f.f64("speculation_fraction")?,
         })
     }
@@ -704,6 +866,54 @@ mod tests {
         summary.fabric.l2_misses = 17;
         summary.fabric.l2_recalls = 2;
         roundtrip(&summary);
+    }
+
+    #[test]
+    fn histograms_roundtrip_byte_identically_for_random_values() {
+        // Seeded random fill, then the same byte-identity contract every
+        // other codec honors: decode(encode(h)) == h and re-encoding is
+        // byte-for-byte stable.
+        let mut rng = ifence_workloads::TraceRng::seed_from_u64(0xbead_cafe);
+        let mut hist = Log2Hist::new();
+        for _ in 0..500 {
+            hist.record(rng.next_u64() >> rng.range_u64(0..64));
+        }
+        roundtrip(&hist);
+        roundtrip(&Log2Hist::new());
+        let mut run = RunHistograms::new();
+        run.episode_len = hist.clone();
+        run.fabric_queue_depth.record(3);
+        roundtrip(&run);
+        roundtrip(&CoreHists { episode_len: hist, ..Default::default() });
+        assert!(Log2Hist::from_json(
+            &Json::parse(r#"{"count":1,"sum":1,"buckets":[[99,1]]}"#).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_events_and_jsonl_roundtrip() {
+        let events = vec![
+            TraceEvent { cycle: 10, core: 0, kind: TraceKind::SpecBegin, value: 1, detail: None },
+            TraceEvent { cycle: 12, core: 3, kind: TraceKind::DramFetch, value: 240, detail: None },
+            TraceEvent {
+                cycle: 99,
+                core: 1,
+                kind: TraceKind::Deadlock,
+                value: 0,
+                detail: Some("core 1: rob head Load@0x40".to_string()),
+            },
+        ];
+        for event in &events {
+            roundtrip(event);
+        }
+        let trace = MachineTrace { events, dropped: 0 };
+        let text = trace_to_jsonl(&trace);
+        assert_eq!(text.lines().count(), 3);
+        let back = trace_from_jsonl(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(trace_to_jsonl(&back), text, "re-encode must be byte-identical");
+        assert!(trace_from_jsonl("{\"cycle\":1}\n").is_err(), "malformed lines are rejected");
     }
 
     #[test]

@@ -29,8 +29,14 @@ pub struct DiffRow {
     /// Per-[`CycleClass`] breakdown shift in percentage points (of each
     /// run's own total), in `CycleClass::ALL` order.
     pub breakdown_delta_pp: [f64; 5],
-    /// True when the cycle delta or any breakdown shift exceeds the
-    /// threshold.
+    /// DRAM traffic (reads + writebacks) delta in percent of the baseline's
+    /// traffic (positive = `b` moved more blocks; 0 when the baseline moved
+    /// none).
+    pub dram_delta_pct: f64,
+    /// L2 miss-ratio shift in percentage points (`b` minus `a`).
+    pub l2_miss_delta_pp: f64,
+    /// True when the cycle delta, any breakdown shift, or a fabric delta
+    /// exceeds the threshold.
     pub flagged: bool,
 }
 
@@ -70,6 +76,8 @@ impl DiffReport {
             &format!("cycles {}", self.name_b),
             "delta %",
             "largest breakdown shift",
+            "dram delta %",
+            "l2 miss shift",
             "flag",
         ]);
         for row in &self.rows {
@@ -87,6 +95,8 @@ impl DiffReport {
                 row.cycles_b.to_string(),
                 format!("{:+.2}", row.delta_pct),
                 format!("{} {:+.2}pp", class.label(), shift),
+                format!("{:+.2}", row.dram_delta_pct),
+                format!("{:+.2}pp", row.l2_miss_delta_pp),
                 if row.flagged { "!".to_string() } else { String::new() },
             ]);
         }
@@ -159,8 +169,15 @@ fn compare_cell(workload: &str, a: &RunSummary, b: &RunSummary, threshold_pct: f
     for i in 0..5 {
         breakdown_delta_pp[i] = 100.0 * (fractions_b[i] - fractions_a[i]);
     }
+    let dram_a = a.fabric.dram_reads + a.fabric.dram_writebacks;
+    let dram_b = b.fabric.dram_reads + b.fabric.dram_writebacks;
+    let dram_delta_pct =
+        if dram_a == 0 { 0.0 } else { 100.0 * (dram_b as f64 - dram_a as f64) / dram_a as f64 };
+    let l2_miss_delta_pp = 100.0 * (b.fabric.l2_miss_ratio() - a.fabric.l2_miss_ratio());
     let flagged = delta_pct.abs() > threshold_pct
-        || breakdown_delta_pp.iter().any(|pp| pp.abs() > threshold_pct);
+        || breakdown_delta_pp.iter().any(|pp| pp.abs() > threshold_pct)
+        || dram_delta_pct.abs() > threshold_pct
+        || l2_miss_delta_pp.abs() > threshold_pct;
     DiffRow {
         workload: workload.to_string(),
         config: a.config.clone(),
@@ -168,6 +185,8 @@ fn compare_cell(workload: &str, a: &RunSummary, b: &RunSummary, threshold_pct: f
         cycles_b: b.cycles,
         delta_pct,
         breakdown_delta_pp,
+        dram_delta_pct,
+        l2_miss_delta_pp,
         flagged,
     }
 }
@@ -248,6 +267,29 @@ mod tests {
         let report = diff_sweeps(&store_a, &man_a, &store_b, &man_b, 5.0).unwrap();
         assert_eq!(report.flagged(), 1, "a 50% speedup is still worth flagging");
         assert_eq!(report.regressions(), 0, "but it is not a regression");
+        cleanup(&store_a, &store_b);
+    }
+
+    #[test]
+    fn fabric_deltas_are_computed_and_flag() {
+        let mut base = summary("sc", 1000, 900, 100);
+        base.fabric.l2_hits = 90;
+        base.fabric.l2_misses = 10;
+        base.fabric.dram_reads = 10;
+        let mut hot = summary("sc", 1000, 900, 100);
+        hot.fabric.l2_hits = 80;
+        hot.fabric.l2_misses = 20;
+        hot.fabric.dram_reads = 20;
+        let (store_a, man_a) = store_with("fab-base", &[(1, base)]);
+        let (store_b, man_b) = store_with("fab-hot", &[(2, hot)]);
+        let report = diff_sweeps(&store_a, &man_a, &store_b, &man_b, 5.0).unwrap();
+        let row = &report.rows[0];
+        assert!((row.dram_delta_pct - 100.0).abs() < 1e-9, "{}", row.dram_delta_pct);
+        assert!((row.l2_miss_delta_pp - 10.0).abs() < 1e-9, "{}", row.l2_miss_delta_pp);
+        assert!(row.flagged, "fabric deltas alone must flag the cell");
+        assert_eq!(report.regressions(), 0, "equal cycle counts are not a cycle regression");
+        let text = report.table().to_string();
+        assert!(text.contains("+100.00"), "dram delta is rendered: {text}");
         cleanup(&store_a, &store_b);
     }
 

@@ -38,7 +38,11 @@ use ifence_workloads::Workload;
 /// v4: `MachineConfig` gained `machine_threads` (serialized layout change;
 /// the field itself is normalized out of keys like the kernel flags, because
 /// the epoch-parallel kernel is byte-identical at every thread count).
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: the telemetry layer — `MachineConfig` gained `trace` (normalized out
+/// of keys: tracing never changes simulated results) and `RunSummary`
+/// gained the `histograms` block (serialized layout change).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// FNV-1a over a byte string (the store's only hash; deterministic across
 /// platforms and runs, unlike `std`'s `DefaultHasher`). Re-exported from
@@ -71,6 +75,7 @@ impl CellKey {
         machine.dense_kernel = false;
         machine.batch_kernel = true;
         machine.machine_threads = 1;
+        machine.trace = false;
         let doc = Json::Object(vec![
             ("schema".to_string(), Json::UInt(SCHEMA_VERSION)),
             ("machine".to_string(), machine.to_json()),
@@ -170,6 +175,17 @@ mod tests {
         cfg.machine_threads = 4;
         let parallel = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
         assert_eq!(serial, parallel, "thread count is proven byte-identical; keys must match");
+    }
+
+    #[test]
+    fn trace_flag_is_normalized_out() {
+        let engine = EngineKind::Conventional(ConsistencyModel::Sc);
+        let mut cfg = MachineConfig::small_test(engine);
+        cfg.seed = 7;
+        let untraced = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
+        cfg.trace = true;
+        let traced = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
+        assert_eq!(untraced, traced, "tracing never changes results; keys must match");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod json;
 pub mod key;
 pub mod store;
 
-pub use codec::{CodecError, JsonCodec};
+pub use codec::{trace_from_jsonl, trace_to_jsonl, CodecError, JsonCodec};
 pub use diff::{diff_sweeps, DiffReport, DiffRow};
 pub use json::{Json, JsonError};
 pub use key::{fnv1a, CellKey, SCHEMA_VERSION};

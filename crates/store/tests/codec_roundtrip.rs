@@ -11,7 +11,7 @@
 //! or duplicate cache entries.
 
 use ifence_sim::MachineResult;
-use ifence_stats::{CoreStats, FabricStats, RunSummary};
+use ifence_stats::{CoreStats, FabricStats, Log2Hist, RunHistograms, RunSummary};
 use ifence_store::{Json, JsonCodec};
 use ifence_types::{
     CacheConfig, ConsistencyModel, CoreConfig, CycleClass, DramConfig, EngineKind,
@@ -134,7 +134,26 @@ fn rand_machine(rng: &mut TraceRng) -> MachineConfig {
     };
     cfg.seed = rng.next_u64();
     cfg.dense_kernel = rng.bool(0.5);
+    cfg.trace = rng.bool(0.5);
     cfg
+}
+
+fn rand_hist(rng: &mut TraceRng) -> Log2Hist {
+    let mut hist = Log2Hist::new();
+    for _ in 0..rng.range_usize(0..64) {
+        hist.record(rng.next_u64() >> rng.range_u64(0..64));
+    }
+    hist
+}
+
+fn rand_histograms(rng: &mut TraceRng) -> RunHistograms {
+    RunHistograms {
+        episode_len: rand_hist(rng),
+        deferral: rand_hist(rng),
+        sb_occupancy: rand_hist(rng),
+        l2_miss_latency: rand_hist(rng),
+        fabric_queue_depth: rand_hist(rng),
+    }
 }
 
 fn rand_core_stats(rng: &mut TraceRng) -> CoreStats {
@@ -152,6 +171,9 @@ fn rand_core_stats(rng: &mut TraceRng) -> CoreStats {
     stats.counters.cycles_speculating = rng.next_u64() >> 16;
     stats.counters.cov_deferrals = rng.range_u64(0..1000);
     stats.counters.writebacks = rng.range_u64(0..1_000_000);
+    stats.hists.episode_len = rand_hist(rng);
+    stats.hists.deferral = rand_hist(rng);
+    stats.hists.sb_occupancy = rand_hist(rng);
     stats
 }
 
@@ -176,6 +198,7 @@ fn rand_summary(rng: &mut TraceRng) -> RunSummary {
         breakdown: stats.breakdown,
         counters: stats.counters,
         fabric: rand_fabric_stats(rng),
+        histograms: rand_histograms(rng),
         speculation_fraction: rand_f64(rng),
     }
 }
@@ -189,6 +212,7 @@ fn rand_machine_result(rng: &mut TraceRng) -> MachineResult {
         deadlock_diagnostic: if rng.bool(0.5) { Some(rand_string(rng)) } else { None },
         per_core: (0..cores).map(|_| rand_core_stats(rng)).collect(),
         fabric: rand_fabric_stats(rng),
+        histograms: rand_histograms(rng),
         load_results: (0..cores)
             .map(|_| {
                 (0..rng.range_usize(0..8))

@@ -10,8 +10,12 @@
 //! ifence figures [--figure all|1|8-10|11|12] [common options]
 //! ifence sweep --engines sc,Invisi_rmo [--workloads Barnes,Apache] [--name NAME]
 //! ifence litmus [--iterations N]
-//! ifence report <name>
+//! ifence report <name>            (or: ifence report --bench [FILE])
 //! ifence diff <name-a> <name-b> [--threshold PCT] [--against DIR]
+//! ifence trace record [--engine LABEL] [--workloads NAME] [--out FILE]
+//! ifence trace summarize [FILE]
+//! ifence trace filter FILE [--kind K] [--core N] [--cycles A..B] [--out FILE]
+//! ifence trace diff FILE_A FILE_B
 //!
 //! common options:
 //!   --store DIR    experiment store root   (default: $IFENCE_STORE or .ifence-store)
@@ -23,13 +27,14 @@
 //! ```
 //!
 //! Exit codes: 0 success; 1 usage or I/O error; 2 `diff` found regressions
-//! beyond the threshold, or `litmus` observed a forbidden outcome.
+//! beyond the threshold, `litmus` observed a forbidden outcome, or
+//! `trace diff` found diverging streams.
 
 use ifence_sim::figures::{run_all_figures, FigureContext};
 use ifence_sim::sweep::{manifest_for_grid, ExperimentMatrix};
-use ifence_sim::{run_litmus, ExperimentParams};
-use ifence_stats::{ColumnTable, PhaseProfile};
-use ifence_store::{diff_sweeps, ExperimentStore};
+use ifence_sim::{run_litmus, ExperimentParams, Machine};
+use ifence_stats::{ColumnTable, MachineTrace, PhaseProfile, TraceKind};
+use ifence_store::{diff_sweeps, trace_from_jsonl, trace_to_jsonl, ExperimentStore, Json};
 use ifence_types::{ConsistencyModel, EngineKind};
 use ifence_workloads::{presets, LitmusTest, Workload};
 use std::path::PathBuf;
@@ -53,6 +58,7 @@ commands:
   litmus    run the litmus suite across every ordering engine
   report    re-render a stored sweep's tables without simulating
   diff      compare two stored sweeps and flag deltas beyond a threshold
+  trace     record, summarize, filter and diff structured trace streams
 
 common options:
   --store DIR   experiment store root (default: $IFENCE_STORE or .ifence-store)
@@ -81,6 +87,12 @@ struct Cli {
     threshold: Option<f64>,
     against: Option<PathBuf>,
     iterations: Option<usize>,
+    engine: Option<String>,
+    kind: Option<String>,
+    core: Option<u32>,
+    cycles: Option<String>,
+    out: Option<PathBuf>,
+    bench: bool,
     help: bool,
 }
 
@@ -102,6 +114,12 @@ impl Cli {
             threshold: None,
             against: None,
             iterations: None,
+            engine: None,
+            kind: None,
+            core: None,
+            cycles: None,
+            out: None,
+            bench: false,
             help: false,
         };
         let mut iter = args.iter();
@@ -133,6 +151,12 @@ impl Cli {
                 "--iterations" => {
                     cli.iterations = Some(parse_num(&value(&mut iter, "--iterations")?)?)
                 }
+                "--engine" => cli.engine = Some(value(&mut iter, "--engine")?),
+                "--kind" => cli.kind = Some(value(&mut iter, "--kind")?),
+                "--core" => cli.core = Some(parse_num(&value(&mut iter, "--core")?)?),
+                "--cycles" => cli.cycles = Some(value(&mut iter, "--cycles")?),
+                "--out" => cli.out = Some(PathBuf::from(value(&mut iter, "--out")?)),
+                "--bench" => cli.bench = true,
                 "--help" | "-h" => cli.help = true,
                 other if other.starts_with('-') => return Err(format!("unknown option {other}")),
                 other => cli.positional.push(other.to_string()),
@@ -220,6 +244,7 @@ fn run(args: &[String]) -> Result<i32, String> {
         "litmus" => cmd_litmus(&cli),
         "report" => cmd_report(&cli),
         "diff" => cmd_diff(&cli),
+        "trace" => cmd_trace(&cli),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(0)
@@ -483,11 +508,19 @@ fn must_forbid(pattern: &str, fenced: bool, model: ConsistencyModel) -> bool {
 fn cmd_report(cli: &Cli) -> Result<i32, String> {
     if cli.help {
         println!(
-            "usage: ifence report <name> [common options]\n\n\
+            "usage: ifence report <name> [common options]\n\
+             \x20      ifence report --bench [FILE]\n\n\
              Re-renders a stored sweep's tables from the experiment store without\n\
-             running any simulation. With no <name>, lists the stored sweeps."
+             running any simulation, including the fabric's memory-hierarchy columns\n\
+             (L2 hits/misses, evictions/recalls, DRAM traffic). With no <name>, lists\n\
+             the stored sweeps. With --bench, renders the bench wall-clock trajectory\n\
+             (default: BENCH_results.json) including any profile_<phase>_ms columns\n\
+             recorded under IFENCE_PROFILE=1."
         );
         return Ok(0);
+    }
+    if cli.bench {
+        return report_bench(cli);
     }
     let store =
         cli.open_store()?.ok_or_else(|| "report needs a store (omit --no-store)".to_string())?;
@@ -513,23 +546,95 @@ fn cmd_report(cli: &Cli) -> Result<i32, String> {
         manifest.figure, manifest.instructions_per_core, manifest.seed
     );
     let mut table = ColumnTable::new(
-        ["workload", "config", "cycles", "runtime % of first", "breakdown"]
-            .into_iter()
-            .map(str::to_string),
+        [
+            "workload",
+            "config",
+            "cycles",
+            "runtime % of first",
+            "l2 hit/miss",
+            "l2 evict/recall",
+            "dram rd/wb",
+            "breakdown",
+        ]
+        .into_iter()
+        .map(str::to_string),
     );
     for (workload, runs) in &rows {
         let baseline = &runs[0];
         for run in runs {
+            let fabric = &run.fabric;
             table.push_row([
                 workload.clone(),
                 run.config.clone(),
                 run.cycles.to_string(),
                 format!("{:.1}", run.normalized_runtime(baseline)),
+                format!("{}/{}", fabric.l2_hits, fabric.l2_misses),
+                format!("{}/{}", fabric.l2_evictions, fabric.l2_recalls),
+                format!("{}/{}", fabric.dram_reads, fabric.dram_writebacks),
                 run.breakdown.to_string(),
             ]);
         }
     }
     println!("{table}");
+    Ok(0)
+}
+
+/// `ifence report --bench [FILE]` — renders the bench wall-clock trajectory
+/// (`BENCH_results.json`) as a table, surfacing the `profile_<phase>_ms`
+/// columns that profiled runs record alongside their wall clock.
+fn report_bench(cli: &Cli) -> Result<i32, String> {
+    let path = cli
+        .positional
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_results.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let Json::Array(entries) =
+        Json::parse(&text).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?
+    else {
+        return Err(format!("{} is not a JSON array of bench records", path.display()));
+    };
+    // The profile columns are optional per record (only profiled runs carry
+    // them); the header is the union, in first-appearance order.
+    let mut profile_columns: Vec<String> = Vec::new();
+    for entry in &entries {
+        if let Json::Object(fields) = entry {
+            for (name, _) in fields {
+                if name.starts_with("profile_") && !profile_columns.contains(name) {
+                    profile_columns.push(name.clone());
+                }
+            }
+        }
+    }
+    let mut header = vec![
+        "bench".to_string(),
+        "detail".to_string(),
+        "instrs".to_string(),
+        "wall ms".to_string(),
+    ];
+    header.extend(profile_columns.iter().cloned());
+    let mut table = ColumnTable::new(header);
+    let cell = |entry: &Json, name: &str| -> String {
+        match entry.field(name) {
+            Some(Json::Str(s)) => s.clone(),
+            Some(Json::UInt(n)) => n.to_string(),
+            Some(Json::Float(x)) => format!("{x:.1}"),
+            _ => String::new(),
+        }
+    };
+    for entry in &entries {
+        let mut row = vec![
+            cell(entry, "bench"),
+            cell(entry, "detail"),
+            cell(entry, "instructions_per_core"),
+            cell(entry, "wall_clock_ms"),
+        ];
+        row.extend(profile_columns.iter().map(|name| cell(entry, name)));
+        table.push_row(row);
+    }
+    println!("{table}");
+    println!("{} bench record(s) in {}", entries.len(), path.display());
     Ok(0)
 }
 
@@ -581,4 +686,205 @@ fn cmd_diff(cli: &Cli) -> Result<i32, String> {
         report.regressions()
     );
     Ok(if report.regressions() > 0 { 2 } else { 0 })
+}
+
+const TRACE_USAGE: &str = "usage: ifence trace <verb> [options]
+
+verbs:
+  record     run one traced simulation and emit its JSONL event stream
+             [--engine LABEL] [--workloads NAME] [--out FILE] [common options]
+  summarize  render a stream's per-kind counts and cycle span  [FILE]
+  filter     keep a stream's matching events
+             FILE [--kind K] [--core N] [--cycles A..B] [--out FILE]
+  diff       compare two streams line by line; exits 2 on divergence
+             FILE_A FILE_B
+
+Tracing never changes simulated results, and the stream is byte-identical
+across every kernel mode (see tests/trace_equivalence.rs). Event kinds:
+spec_begin spec_commit spec_abort cov_defer_start cov_defer_end
+sb_high_water l2_eviction l2_recall dram_fetch deadlock.";
+
+fn cmd_trace(cli: &Cli) -> Result<i32, String> {
+    if cli.help {
+        println!("{TRACE_USAGE}");
+        return Ok(0);
+    }
+    let Some(verb) = cli.positional.first() else {
+        return Err(format!("trace needs a verb\n{TRACE_USAGE}"));
+    };
+    match verb.as_str() {
+        "record" => trace_record(cli),
+        "summarize" => trace_summarize(cli),
+        "filter" => trace_filter(cli),
+        "diff" => trace_diff(cli),
+        other => Err(format!("unknown trace verb {other:?}\n{TRACE_USAGE}")),
+    }
+}
+
+/// Writes a JSONL stream to `--out` (or stdout when absent), reporting where
+/// it went on stderr so stdout stays a clean pipeable stream.
+fn write_stream(out: &Option<PathBuf>, jsonl: &str, events: usize) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, jsonl)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {events} event(s) to {}", path.display());
+        }
+        None => print!("{jsonl}"),
+    }
+    Ok(())
+}
+
+/// Reads a JSONL stream from a file argument.
+fn read_stream(path: &str) -> Result<MachineTrace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    trace_from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn trace_record(cli: &Cli) -> Result<i32, String> {
+    let label = cli.engine.as_deref().unwrap_or("Invisi_sc");
+    let engine = EngineKind::from_label(label).ok_or_else(|| {
+        format!(
+            "unknown engine label {label:?} (known: {})",
+            all_engines().iter().map(|e| e.label()).collect::<Vec<_>>().join(", ")
+        )
+    })?;
+    let workloads = cli.workload_list()?;
+    let workload = &workloads[0];
+    if workloads.len() > 1 {
+        eprintln!("trace record runs one workload; using {:?}", workload.name());
+    }
+    let params = cli.params();
+    let mut cfg = params.config_for(engine);
+    cfg.trace = true;
+    let sources = workload.sources(cfg.cores, params.instructions_per_core, params.seed);
+    let machine = Machine::from_sources(cfg, sources).expect("derived configuration is valid");
+    let (result, trace) = machine.into_result_with_trace(params.max_cycles);
+    let jsonl = trace_to_jsonl(&trace);
+    eprintln!(
+        "{} on {}: {} cycle(s), {} event(s){}{}",
+        engine.label(),
+        workload.name(),
+        result.cycles,
+        trace.events.len(),
+        if trace.dropped > 0 {
+            format!(", {} dropped by the ring (raise the shard capacity)", trace.dropped)
+        } else {
+            String::new()
+        },
+        if result.finished { "" } else { " [run did not finish]" },
+    );
+    write_stream(&cli.out, &jsonl, trace.events.len())?;
+    Ok(0)
+}
+
+fn trace_summarize(cli: &Cli) -> Result<i32, String> {
+    let Some(path) = cli.positional.get(1) else {
+        return Err("trace summarize needs a stream FILE (from trace record --out)".to_string());
+    };
+    let trace = read_stream(path)?;
+    let mut table = ColumnTable::new(["kind", "events", "value min", "value max", "value mean"]);
+    for (kind, count) in trace.counts_by_kind() {
+        if count == 0 {
+            continue;
+        }
+        let values =
+            trace.events.iter().filter(|e| e.kind == kind).map(|e| e.value).collect::<Vec<_>>();
+        let sum: u64 = values.iter().sum();
+        table.push_row([
+            kind.label().to_string(),
+            count.to_string(),
+            values.iter().min().unwrap().to_string(),
+            values.iter().max().unwrap().to_string(),
+            format!("{:.1}", sum as f64 / count as f64),
+        ]);
+    }
+    println!("{table}");
+    match (trace.events.first(), trace.events.last()) {
+        (Some(first), Some(last)) => {
+            let cores = {
+                let mut cores: Vec<u32> = trace.events.iter().map(|e| e.core).collect();
+                cores.sort_unstable();
+                cores.dedup();
+                cores.len()
+            };
+            println!(
+                "{} event(s) over cycles {}..={} from {} core(s)/home node(s)",
+                trace.events.len(),
+                first.cycle,
+                last.cycle,
+                cores
+            );
+        }
+        _ => println!("empty stream"),
+    }
+    Ok(0)
+}
+
+/// Parses the `--cycles A..B` filter (inclusive on both ends; either bound
+/// may be omitted).
+fn parse_cycle_range(raw: &str) -> Result<(u64, u64), String> {
+    let Some((lo, hi)) = raw.split_once("..") else {
+        return Err(format!("bad --cycles {raw:?} (expected A..B, A.. or ..B)"));
+    };
+    let lo = if lo.is_empty() { 0 } else { parse_num(lo)? };
+    let hi = if hi.is_empty() { u64::MAX } else { parse_num(hi)? };
+    if lo > hi {
+        return Err(format!("bad --cycles {raw:?} (empty range)"));
+    }
+    Ok((lo, hi))
+}
+
+fn trace_filter(cli: &Cli) -> Result<i32, String> {
+    let Some(path) = cli.positional.get(1) else {
+        return Err("trace filter needs a stream FILE".to_string());
+    };
+    let kind = match &cli.kind {
+        None => None,
+        Some(label) => Some(TraceKind::from_label(label).ok_or_else(|| {
+            format!(
+                "unknown --kind {label:?} (known: {})",
+                TraceKind::ALL.map(TraceKind::label).join(", ")
+            )
+        })?),
+    };
+    let cycles = cli.cycles.as_deref().map(parse_cycle_range).transpose()?;
+    let mut trace = read_stream(path)?;
+    let before = trace.events.len();
+    trace.events.retain(|event| {
+        kind.map_or(true, |k| event.kind == k)
+            && cli.core.map_or(true, |c| event.core == c)
+            && cycles.map_or(true, |(lo, hi)| (lo..=hi).contains(&event.cycle))
+    });
+    eprintln!("{} of {before} event(s) match", trace.events.len());
+    write_stream(&cli.out, &trace_to_jsonl(&trace), trace.events.len())?;
+    Ok(0)
+}
+
+fn trace_diff(cli: &Cli) -> Result<i32, String> {
+    let (Some(path_a), Some(path_b)) = (cli.positional.get(1), cli.positional.get(2)) else {
+        return Err("trace diff needs two stream FILEs".to_string());
+    };
+    // Parse both sides first so malformed streams are an error (exit 1),
+    // not a divergence (exit 2); the comparison itself is on the canonical
+    // re-encoded lines, so formatting noise cannot mask or fake a diff.
+    let a = trace_to_jsonl(&read_stream(path_a)?);
+    let b = trace_to_jsonl(&read_stream(path_b)?);
+    let lines_a: Vec<&str> = a.lines().collect();
+    let lines_b: Vec<&str> = b.lines().collect();
+    if lines_a == lines_b {
+        println!("streams are identical ({} event(s))", lines_a.len());
+        return Ok(0);
+    }
+    match lines_a.iter().zip(&lines_b).position(|(x, y)| x != y) {
+        Some(index) => {
+            println!("streams diverge at event {}:", index + 1);
+            println!("  {path_a}: {}", lines_a[index]);
+            println!("  {path_b}: {}", lines_b[index]);
+        }
+        None => {
+            println!("streams diverge in length: {} vs {} event(s)", lines_a.len(), lines_b.len())
+        }
+    }
+    Ok(2)
 }
