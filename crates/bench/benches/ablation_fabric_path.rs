@@ -1,6 +1,6 @@
 //! Ablation: wall-clock cost of the fabric hot path — timing-wheel event
 //! queue, precomputed torus routing, persistent scratch buffers and indexed
-//! wake dispatch — measured end to end on the event-driven and batched
+//! wake dispatch — measured end to end on the event-driven, batched and leap
 //! kernels, with the kernel phase profiler force-enabled so the table shows
 //! *where* the host time goes (core stepping vs fabric stepping vs delivery
 //! routing), not just how much of it there is.
@@ -30,10 +30,17 @@ fn reps() -> usize {
 }
 
 /// The paper baseline re-scaled to `cores` nodes on a square torus.
-fn config_at(engine: EngineKind, cores: usize, seed: u64, batch: bool) -> MachineConfig {
+fn config_at(
+    engine: EngineKind,
+    cores: usize,
+    seed: u64,
+    batch: bool,
+    leap: bool,
+) -> MachineConfig {
     let mut cfg = MachineConfig::with_engine(engine);
     cfg.seed = seed;
     cfg.batch_kernel = batch;
+    cfg.leap_kernel = leap;
     if cores != cfg.cores {
         let side = (cores as f64).sqrt() as usize;
         assert_eq!(side * side, cores, "scales are square torus sizes");
@@ -50,6 +57,7 @@ fn timed_run(
     engine: EngineKind,
     cores: usize,
     batch: bool,
+    leap: bool,
     params: &ifence_sim::ExperimentParams,
     workload: &ifence_workloads::WorkloadSpec,
 ) -> (u64, f64, ProfileSnapshot) {
@@ -57,7 +65,7 @@ fn timed_run(
     let mut best = f64::INFINITY;
     let mut best_profile = ProfileSnapshot::default();
     for rep in 0..reps() {
-        let cfg = config_at(engine, cores, params.seed, batch);
+        let cfg = config_at(engine, cores, params.seed, batch, leap);
         let programs = workload.generate(cfg.cores, params.instructions_per_core, params.seed);
         let machine = ifence_sim::Machine::new(cfg, programs).expect("valid config");
         let profile_start = PhaseProfile::global().snapshot();
@@ -93,7 +101,11 @@ fn main() {
     let workload = presets::apache();
     let engine = EngineKind::Conventional(ConsistencyModel::Sc);
     let scales = [16usize, 64];
-    let modes = [(false, "event-driven kernel"), (true, "batched kernel")];
+    let modes = [
+        (false, false, "event-driven kernel"),
+        (true, false, "batched kernel"),
+        (true, true, "leap kernel"),
+    ];
     // Timed serially (never through the parallel sweep): concurrent cells
     // would contend for cores and corrupt both the wall clocks and the
     // process-global phase accumulators.
@@ -105,22 +117,22 @@ fn main() {
         "core_step ms",
         "fabric_step ms",
         "delivery ms",
-        "batched vs event",
+        "vs event",
     ]);
     for cores in scales {
         let mut event_ms = f64::NAN;
         let mut event_cycles = 0;
-        for (batch, detail) in modes {
+        for (batch, leap, detail) in modes {
             let _cell_run = BenchRun::start(
                 "ablation_fabric_path",
                 &format!("{detail}, {cores} cores"),
                 &params,
             );
-            let (cycles, ms, profile) = timed_run(engine, cores, batch, &params, &workload);
+            let (cycles, ms, profile) = timed_run(engine, cores, batch, leap, &params, &workload);
             let ratio = if batch {
                 assert_eq!(
                     cycles, event_cycles,
-                    "{cores} cores: batched kernel disagrees on simulated cycles"
+                    "{cores} cores: {detail} disagrees on simulated cycles"
                 );
                 format!("{:.2}x", event_ms / ms.max(1e-9))
             } else {
@@ -144,6 +156,8 @@ fn main() {
     println!(
         "(phase columns are the kernel profiler's wall-clock split of each cell's fastest rep; \
          the fabric path — wheel pops, routed deliveries, table-routed latencies — is the \
-         fabric_step + delivery columns, and simulated cycles are identical in both kernels)"
+         fabric_step + delivery columns, and simulated cycles are identical in all three kernels; \
+         the leap kernel's win concentrates in the core_step column, which is what closed-form \
+         multi-cycle advancement trims)"
     );
 }

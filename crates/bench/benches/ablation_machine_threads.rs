@@ -14,8 +14,9 @@
 //! and every ratio flattens to ≤1, which is expected and honest.
 //!
 //! Each thread count appends its own `BENCH_results.json` row (detail
-//! "1 thread" / "2 threads" / …), so the scaling trajectory is tracked per
-//! count across invocations. `IFENCE_THREADS` overrides the config at
+//! "1 thread" / "2 threads" / …, plus a structured `machine_threads` field
+//! so consumers can filter numerically), so the scaling trajectory is
+//! tracked per count across invocations. `IFENCE_THREADS` overrides the config at
 //! machine construction and would collapse all counts into one — the bench
 //! refuses to run under it rather than record meaningless ratios.
 
@@ -43,6 +44,11 @@ fn timed_run(
         let mut cfg = MachineConfig::with_engine(engine);
         cfg.seed = params.seed;
         cfg.machine_threads = threads;
+        // Leap execution off: these rows track pure epoch-parallel scaling of
+        // the batched kernel, and must keep measuring the same thing now that
+        // leaping defaults on (the leap ablations live in
+        // ablation_kernel_mode / ablation_fabric_path).
+        cfg.leap_kernel = false;
         let programs = workload.generate(cfg.cores, params.instructions_per_core, params.seed);
         let machine = ifence_sim::Machine::new(cfg, programs).expect("valid config");
         let start = Instant::now();
@@ -87,7 +93,8 @@ fn main() {
     let mut measured = vec![Vec::new(); engines.len()];
     for &threads in &thread_counts {
         let detail = format!("{threads} thread{}", if threads == 1 { "" } else { "s" });
-        let _count_run = BenchRun::start("ablation_machine_threads", &detail, &params);
+        let _count_run = BenchRun::start("ablation_machine_threads", &detail, &params)
+            .with_u64("machine_threads", threads as u64);
         for (i, engine) in engines.iter().enumerate() {
             measured[i].push(timed_run(*engine, threads, &params, &workload));
         }

@@ -98,6 +98,13 @@ fn bench_results_path(lookup: EnvLookup<'_>) -> Option<PathBuf> {
     }
 }
 
+/// Hardware threads the host exposes to this process, recorded with every
+/// trajectory row so wall clocks from differently sized hosts are never
+/// compared as equals.
+fn host_threads() -> u64 {
+    std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1)
+}
+
 /// `<workspace root>/BENCH_results.json`.
 fn default_results_path() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("BENCH_results.json")
@@ -108,8 +115,13 @@ fn default_results_path() -> PathBuf {
 ///
 /// ```json
 /// {"bench":"Figure 8","detail":"…","instructions_per_core":100000,
-///  "seed":523429358,"jobs":16,"wall_clock_ms":1234.5,"unix_time_secs":…}
+///  "seed":523429358,"jobs":16,"host_threads":16,"wall_clock_ms":1234.5,
+///  "unix_time_secs":…}
 /// ```
+///
+/// `host_threads` is the hardware parallelism the host exposed to the run
+/// (`std::thread::available_parallelism`) — wall clocks from differently
+/// sized hosts are not comparable, and the trajectory should say so.
 ///
 /// The file is rewritten atomically (tmp file + rename); an unreadable or
 /// corrupt trajectory is restarted with a warning rather than failing the
@@ -117,14 +129,21 @@ fn default_results_path() -> PathBuf {
 ///
 /// When the kernel phase profiler is accumulating (`IFENCE_PROFILE=1` or
 /// [`PhaseProfile::set_enabled`]), the record also carries the per-phase
-/// wall clock this run accumulated, as `profile_<phase>_ms` fields — so the
-/// trajectory shows where the host time went, not just how much there was.
+/// wall clock this run accumulated, as `profile_<phase>_ms` fields, plus a
+/// `profile_other_ms` residual — the wall clock no phase claimed (machine
+/// construction, result finalisation, table formatting) — so the attributed
+/// phases can be read honestly against the whole wall clock.
+///
+/// Benches that sweep a structured parameter attach it with
+/// [`BenchRun::with_u64`] (e.g. `machine_threads`), so trajectory consumers
+/// can filter rows numerically instead of parsing the detail string.
 pub struct BenchRun {
     bench: String,
     detail: String,
     instructions_per_core: u64,
     seed: u64,
     jobs: u64,
+    extra: Vec<(String, u64)>,
     start: Instant,
     profile_start: ProfileSnapshot,
     path: Option<PathBuf>,
@@ -149,10 +168,19 @@ impl BenchRun {
             instructions_per_core: params.instructions_per_core as u64,
             seed: params.seed,
             jobs: params.effective_jobs() as u64,
+            extra: Vec::new(),
             start: Instant::now(),
             profile_start: PhaseProfile::global().snapshot(),
             path,
         }
+    }
+
+    /// Attaches a structured numeric field to this run's trajectory record
+    /// (e.g. `machine_threads`), alongside the human-readable detail string.
+    #[must_use]
+    pub fn with_u64(mut self, name: &str, value: u64) -> BenchRun {
+        self.extra.push((name.to_string(), value));
+        self
     }
 
     /// The record this run will append (without the wall clock, which is
@@ -168,17 +196,31 @@ impl BenchRun {
             ("instructions_per_core".to_string(), Json::UInt(self.instructions_per_core)),
             ("seed".to_string(), Json::UInt(self.seed)),
             ("jobs".to_string(), Json::UInt(self.jobs)),
+            ("host_threads".to_string(), Json::UInt(host_threads())),
             ("wall_clock_ms".to_string(), Json::Float(wall_clock_ms)),
             ("unix_time_secs".to_string(), Json::UInt(unix_time_secs)),
         ];
+        for (name, value) in &self.extra {
+            fields.push((name.clone(), Json::UInt(*value)));
+        }
         if PhaseProfile::global().enabled() {
             let delta = PhaseProfile::global().snapshot().delta(&self.profile_start);
+            let mut attributed_ms = 0.0;
             for phase in Phase::ALL {
+                attributed_ms += delta.millis(phase);
                 fields.push((
                     format!("profile_{}_ms", phase.label()),
                     Json::Float(delta.millis(phase)),
                 ));
             }
+            // The wall clock no phase claimed: machine construction, result
+            // finalisation, table formatting. Clamped at zero — timer
+            // granularity can put the attributed sum a hair over the wall
+            // clock on sub-millisecond runs.
+            fields.push((
+                "profile_other_ms".to_string(),
+                Json::Float((wall_clock_ms - attributed_ms).max(0.0)),
+            ));
         }
         Json::Object(fields)
     }
@@ -277,6 +319,46 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn records_carry_host_threads_and_structured_fields() {
+        let params = ExperimentParams::quick_test();
+        let run =
+            BenchRun::begin("Ablation", "2 threads", &params, None).with_u64("machine_threads", 2);
+        let record = run.record(1.0);
+        assert!(
+            record.field("host_threads").and_then(Json::as_u64).unwrap() >= 1,
+            "every record must say how much hardware the host exposed"
+        );
+        assert_eq!(
+            record.field("machine_threads").and_then(Json::as_u64),
+            Some(2),
+            "structured fields ride alongside the detail string"
+        );
+    }
+
+    #[test]
+    fn profiled_records_carry_a_residual_bucket() {
+        let params = ExperimentParams::quick_test();
+        let run = BenchRun::begin("Ablation", "residual", &params, None);
+        PhaseProfile::global().set_enabled(true);
+        let record = run.record(10.0);
+        PhaseProfile::global().set_enabled(false);
+        let other = record
+            .field("profile_other_ms")
+            .and_then(Json::as_f64)
+            .expect("profiled records carry the residual");
+        assert!((0.0..=10.0).contains(&other), "residual {other} must fit the wall clock");
+        let attributed: f64 = Phase::ALL
+            .iter()
+            .filter_map(|p| record.field(&format!("profile_{}_ms", p.label())))
+            .filter_map(Json::as_f64)
+            .sum();
+        assert!(
+            attributed + other <= 10.0 + 1e-9,
+            "phases plus residual must not exceed the wall clock"
+        );
     }
 
     #[test]

@@ -324,8 +324,6 @@ mod tests {
             program_index: index,
             dispatch_id: index as u64,
             instr,
-            issued: true,
-            complete_at: Some(0),
             block: instr.kind.addr().map(|a| BlockAddr::containing(a, 64)),
             performed_read: instr.kind.reads_memory(),
             bound_at_head: true,

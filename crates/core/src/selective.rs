@@ -313,6 +313,14 @@ impl OrderingEngine for InvisiSelectiveEngine {
         }
     }
 
+    fn leap_transparent(&self) -> bool {
+        // Speculative: episodes buffer cycles provisionally and gate the
+        // store-buffer drain, so the leap contract's "always" clauses cannot
+        // hold even between episodes. Selective cores keep the per-cycle
+        // batched path (whose gate already tracks episode liveness).
+        false
+    }
+
     fn finalize(&mut self, mem: &mut CoreMem, stats: &mut CoreStats) {
         self.kernel.finalize(mem, stats);
     }

@@ -78,6 +78,10 @@ pub struct Core {
     /// by retirement; squashes only truncate the tail, so clamping to the
     /// current length keeps it sound.
     issued_prefix: usize,
+    /// Cached [`OrderingEngine::leap_transparent`] answer: whether this
+    /// core's engine permits the leap kernel's multi-cycle runs. Queried once
+    /// at construction so the leap gate is a field read, not a virtual call.
+    leap_ok: bool,
 }
 
 impl Core {
@@ -106,6 +110,7 @@ impl Core {
         cfg: &MachineConfig,
         engine: Box<dyn OrderingEngine>,
     ) -> Self {
+        let leap_ok = engine.leap_transparent();
         Core {
             id,
             cfg: cfg.core,
@@ -123,7 +128,17 @@ impl Core {
             pending_replies: Vec::new(),
             load_results: Vec::new(),
             issued_prefix: 0,
+            leap_ok,
         }
+    }
+
+    /// Whether this core's ordering engine admits leap execution
+    /// ([`OrderingEngine::leap_transparent`], cached at construction). The
+    /// machine uses this to keep an all-speculative machine off the leap
+    /// kernel's epoch routing entirely — no core could leap, so the merge
+    /// replay would be pure overhead.
+    pub fn leap_transparent(&self) -> bool {
+        self.leap_ok
     }
 
     /// This core's identifier.
@@ -249,7 +264,12 @@ impl Core {
         let head = match self.rob.head() {
             Some(h) => format!(
                 "head=[#{} {} issued={} complete_at={:?} performed={} block={:?}]",
-                h.program_index, h.instr, h.issued, h.complete_at, h.performed_read, h.block
+                h.program_index,
+                h.instr,
+                self.rob.is_issued(0),
+                self.rob.complete_at(0),
+                h.performed_read,
+                h.block
             ),
             None => "head=[empty]".to_string(),
         };
@@ -331,9 +351,11 @@ impl Core {
                 // re-dispatched after a replay while the miss was in flight).
                 let stragglers: Vec<u64> = self
                     .rob
-                    .iter()
-                    .filter(|e| e.issued && e.complete_at.is_none() && e.block == Some(block))
-                    .map(|e| e.dispatch_id)
+                    .status_iter()
+                    .filter(|(e, complete_at, issued)| {
+                        *issued && complete_at.is_none() && e.block == Some(block)
+                    })
+                    .map(|(e, _, _)| e.dispatch_id)
                     .collect();
                 for waiter in stragglers {
                     self.complete_waiter(waiter, block, now);
@@ -360,36 +382,19 @@ impl Core {
             && self.rob.head().map(|h| h.dispatch_id == waiter).unwrap_or(false);
         // Find the waiting instruction; it may have been squashed, in which
         // case there is nothing to do.
-        let mut needs_value = None;
-        for entry in self.rob.iter_mut() {
-            if entry.dispatch_id == waiter {
-                entry.complete_at = Some(now + hit_latency);
-                if entry.instr.kind.reads_memory() && !entry.performed_read {
-                    needs_value = Some(entry.program_index);
-                }
-                break;
-            }
-        }
-        if let Some(_idx) = needs_value {
-            let value = self
-                .mem
-                .read_value(self.program_addr_of_waiter(waiter).unwrap_or_default())
-                .unwrap_or(0);
-            for entry in self.rob.iter_mut() {
-                if entry.dispatch_id == waiter {
-                    entry.loaded_value = Some(value);
-                    entry.performed_read = true;
-                    entry.bound_at_head = at_head;
-                    break;
-                }
-            }
+        let Some(position) = self.rob.position_of(waiter) else { return };
+        self.rob.set_complete_at(position, now + hit_latency);
+        let entry = self.rob.get(position).expect("position below len");
+        if entry.instr.kind.reads_memory() && !entry.performed_read {
+            let addr = entry.instr.kind.addr().unwrap_or_default();
+            let value = self.mem.read_value(addr).unwrap_or(0);
+            let entry = self.rob.get_mut(position).expect("position below len");
+            entry.loaded_value = Some(value);
+            entry.performed_read = true;
+            entry.bound_at_head = at_head;
             let Core { mem, engine, .. } = self;
             engine.on_load_issue(mem, block);
         }
-    }
-
-    fn program_addr_of_waiter(&self, waiter: u64) -> Option<ifence_types::Addr> {
-        self.rob.iter().find(|e| e.dispatch_id == waiter).and_then(|e| e.instr.kind.addr())
     }
 
     fn handle_external(
@@ -505,27 +510,27 @@ impl Core {
         let sb_empty_now = mem.sb_empty();
         let rob_len = rob.len();
         for position in start..rob_len {
-            let entry = rob.get_mut(position).expect("index below len");
+            let mut view = rob.view_mut(position).expect("index below len");
             // A value bound here is immune to later invalidations only if
             // every older instruction has retired AND no older store is still
             // pending in the store buffer (otherwise the binding could expose
             // a forbidden reordering, e.g. Dekker under SC).
             let at_head = position == 0 && sb_empty_now;
-            if entry.issued {
+            if view.issued() {
                 continue;
             }
             // A memory operation's first issue attempt records its block even
             // when the issue itself fails (MSHRs full); that is a state
             // change the quiescence analysis must see.
-            let block_known = entry.block.is_some();
-            match entry.instr.kind {
+            let block_known = view.entry.block.is_some();
+            match view.entry.instr.kind {
                 InstrKind::Op(lat) => {
-                    entry.complete_at = Some(now + lat as u64);
-                    entry.issued = true;
+                    view.set_complete_at(now + lat as u64);
+                    view.set_issued();
                 }
                 InstrKind::Fence(_) => {
-                    entry.complete_at = Some(now + 1);
-                    entry.issued = true;
+                    view.set_complete_at(now + 1);
+                    view.set_issued();
                 }
                 InstrKind::Load(addr) => {
                     if mem_ports_used >= max_ports {
@@ -534,33 +539,33 @@ impl Core {
                     }
                     mem_ports_used += 1;
                     let block = mem.block_of(addr);
-                    entry.block = Some(block);
+                    view.entry.block = Some(block);
                     if let Some(value) = mem.sb.forward(addr) {
-                        entry.loaded_value = Some(value);
-                        entry.performed_read = true;
-                        entry.bound_at_head = at_head;
-                        entry.complete_at = Some(now + 1);
-                        entry.issued = true;
+                        view.entry.loaded_value = Some(value);
+                        view.entry.performed_read = true;
+                        view.entry.bound_at_head = at_head;
+                        view.set_complete_at(now + 1);
+                        view.set_issued();
                         stats.counters.sb_forwards += 1;
                         if mem.l1.peek(block).readable() {
                             engine.on_load_issue(mem, block);
                         }
                     } else if mem.l1.lookup(block).readable() {
                         let word = addr.word_in_block(mem.block_bytes()).index();
-                        entry.loaded_value = mem.l1.read_word(block, word);
-                        entry.performed_read = true;
-                        entry.bound_at_head = at_head;
-                        entry.complete_at = Some(now + hit_latency);
-                        entry.issued = true;
+                        view.entry.loaded_value = mem.l1.read_word(block, word);
+                        view.entry.performed_read = true;
+                        view.entry.bound_at_head = at_head;
+                        view.set_complete_at(now + hit_latency);
+                        view.set_issued();
                         stats.counters.l1_hits += 1;
                         engine.on_load_issue(mem, block);
                     } else if mem.ensure_read_miss(
                         block,
-                        entry.dispatch_id,
+                        view.entry.dispatch_id,
                         now,
                         &mut stats.counters,
                     ) {
-                        entry.issued = true;
+                        view.set_issued();
                     }
                 }
                 InstrKind::Store(addr, _) => {
@@ -570,9 +575,9 @@ impl Core {
                     }
                     mem_ports_used += 1;
                     let block = mem.block_of(addr);
-                    entry.block = Some(block);
-                    entry.complete_at = Some(now + 1);
-                    entry.issued = true;
+                    view.entry.block = Some(block);
+                    view.set_complete_at(now + 1);
+                    view.set_issued();
                     mem.store_prefetch(block, now, &mut stats.counters);
                 }
                 InstrKind::Atomic(addr, _) => {
@@ -582,32 +587,32 @@ impl Core {
                     }
                     mem_ports_used += 1;
                     let block = mem.block_of(addr);
-                    entry.block = Some(block);
+                    view.entry.block = Some(block);
                     if mem.l1.lookup(block).writable() {
                         let word = addr.word_in_block(mem.block_bytes()).index();
-                        entry.loaded_value =
+                        view.entry.loaded_value =
                             mem.sb.forward(addr).or_else(|| mem.l1.read_word(block, word));
-                        entry.performed_read = true;
-                        entry.bound_at_head = at_head;
-                        entry.complete_at = Some(now + hit_latency);
-                        entry.issued = true;
+                        view.entry.performed_read = true;
+                        view.entry.bound_at_head = at_head;
+                        view.set_complete_at(now + hit_latency);
+                        view.set_issued();
                         stats.counters.l1_hits += 1;
                         engine.on_load_issue(mem, block);
                     } else if mem.ensure_write_miss(
                         block,
-                        Some(entry.dispatch_id),
+                        Some(view.entry.dispatch_id),
                         false,
                         now,
                         &mut stats.counters,
                     ) {
-                        entry.issued = true;
+                        view.set_issued();
                     }
                 }
             }
-            if entry.issued || entry.block.is_some() != block_known {
+            if view.issued() || view.entry.block.is_some() != block_known {
                 issued_any = true;
             }
-            if !entry.issued && issued_prefix.is_none() {
+            if !view.issued() && issued_prefix.is_none() {
                 issued_prefix = Some(position);
             }
         }
@@ -633,7 +638,7 @@ impl Core {
                     break;
                 }
             };
-            if !head.completed(now) {
+            if !self.rob.head_completed(now) {
                 stall = Some(StallReason::IncompleteHead);
                 break;
             }
@@ -899,7 +904,7 @@ impl Core {
     /// coherence delivery can wake it — the core is blocked on the fabric
     /// (an MSHR is outstanding) or has finished.
     fn wake_hint(&self, now: Cycle) -> Option<Cycle> {
-        let head_completion = self.rob.head().and_then(|h| h.complete_at).filter(|&c| c > now);
+        let head_completion = self.rob.head_complete_at().filter(|&c| c > now);
         let deferred_deadline = self.deferred.iter().map(|d| d.deadline).min();
         let engine_timer = self.engine.next_wake(now);
         earliest_wake(earliest_wake(head_completion, deferred_deadline), engine_timer)
@@ -927,12 +932,134 @@ impl Core {
         (self.stats, self.load_results)
     }
 
+    /// Attributes a run of `len` identically-classed cycles in bulk —
+    /// [`OrderingEngine::record_cycles`] with the run length, which for a
+    /// leap-transparent engine is exactly `len` per-cycle calls.
+    #[inline]
+    fn flush_cycle_run(&mut self, class: Option<CycleClass>, len: Cycle) {
+        if let Some(class) = class {
+            if len > 0 {
+                let Core { engine, stats, .. } = self;
+                engine.record_cycles(class, len, stats);
+            }
+        }
+    }
+
+    /// The leap kernel's closed-form multi-cycle run: advances this core over
+    /// `[from, until)` without the per-cycle engine virtuals, activity
+    /// aggregation and machine bookkeeping the batched path still pays,
+    /// returning the next cycle to resume at (always past `from`).
+    ///
+    /// Sound only for [`OrderingEngine::leap_transparent`] engines and only
+    /// while the non-engine `batch_ready` terms hold at entry (the
+    /// `step_until` gate). Per cycle it runs exactly the live stages of
+    /// [`Core::batch_cycle`] — drain → issue-from-prefix → retire → dispatch
+    /// → release — through the same code paths, so simulated state, stats,
+    /// histograms and trace emissions are byte-identical; only the
+    /// *attribution mechanics* differ, with equal-class cycle runs flushed in
+    /// bulk via [`OrderingEngine::record_cycles`] (the default
+    /// implementation, which the transparency contract pins, makes that
+    /// exactly n single-cycle calls). The stages the batched path proves
+    /// dead — engine tick, deferred resolution, finalize-while-speculating,
+    /// speculation accounting — are dead here *by the engine contract*, so
+    /// they are not even checked per cycle.
+    ///
+    /// On quiescence the core goes to sleep exactly as the per-cycle path
+    /// would: same stretch start, same class, same wake hint (the ROB head's
+    /// completion cycle — the deferred-deadline and engine-timer terms of
+    /// [`Core::wake_hint`] are vacuous here).
+    fn leap_run(
+        &mut self,
+        from: Cycle,
+        until: Cycle,
+        sleep: &mut Option<CoreSleep>,
+        sink: &mut Vec<(Cycle, FabricInput)>,
+        report: &mut EpochStepReport,
+    ) -> Cycle {
+        debug_assert!(self.leap_ok && self.deferred.is_empty() && self.pending_replies.is_empty());
+        let mut t = from;
+        // Run-length encoded cycle attribution: (class, length) of the
+        // current run of identically-classed cycles.
+        let mut run_class: Option<CycleClass> = None;
+        let mut run_len: Cycle = 0;
+        while t < until {
+            debug_assert!(self.engine.next_unbatchable_event(t).is_none(), "leap contract");
+            debug_assert!(!self.engine.speculating(), "leap contract");
+            self.stats.trace.set_now(t);
+            let drained = if self.mem.sb_empty() {
+                0
+            } else {
+                let Core { mem, engine, stats, .. } = self;
+                let drain_limit = self.cfg.sb_drain_per_cycle;
+                mem.drain_store_buffer(drain_limit, t, &mut stats.counters, |epoch| {
+                    engine.can_drain(epoch)
+                })
+            };
+            let issued = self.issue_stage_from(t, self.issued_prefix.min(self.rob.len()));
+            let (retired, stall) = self.retire_stage(t);
+            let dispatched = self.dispatch_stage();
+            if retired > 0 {
+                // A leap-transparent engine holds no rollback floor, so the
+                // release frontier is exactly the retirement frontier; an
+                // unmoved frontier makes release a no-op, hence the gate.
+                self.source.release(self.retired);
+            }
+            // `finished()` with the speculation term inlined to false.
+            let done = self.rob.is_empty() && self.mem.sb_empty() && self.trace_done();
+            let class = if done {
+                None
+            } else if retired > 0 {
+                Some(CycleClass::Busy)
+            } else {
+                Some(stall.map(|s| s.cycle_class()).unwrap_or(CycleClass::Other))
+            };
+            if class == run_class {
+                run_len += 1;
+            } else {
+                self.flush_cycle_run(run_class, run_len);
+                run_class = class;
+                run_len = 1;
+            }
+            // Route this cycle's requests at the same point the per-cycle
+            // loop would (replies cannot appear: nothing here produces one).
+            let mut emitted = false;
+            if self.mem.requests_pending() {
+                for request in self.mem.drain_requests() {
+                    sink.push((t, FabricInput::Request(request)));
+                }
+                emitted = true;
+            }
+            let progressed = retired > 0 || dispatched > 0 || issued || drained > 0;
+            if progressed || emitted {
+                report.last_progress = Some(t);
+            }
+            if report.finished_at.is_none() && done {
+                report.finished_at = Some(t);
+            }
+            if !progressed {
+                self.flush_cycle_run(run_class, run_len);
+                // wake_hint with the vacuous terms dropped.
+                let wake_at = self.rob.head_complete_at().filter(|&c| c > t);
+                *sleep = Some(CoreSleep { since: t + 1, class, wake_at });
+                return t + 1;
+            }
+            t += 1;
+        }
+        self.flush_cycle_run(run_class, run_len);
+        t
+    }
+
     /// Steps this core alone over the epoch `[from, until)`, replaying the
     /// serial kernel's per-core schedule exactly: batched fast cycles when
     /// `batch` allows and the gate admits, sleep on quiescence, wake at the
     /// recorded hint (attributing the skipped stretch in bulk, exactly as
     /// [the serial kernel] does at the moment it re-checks a sleeping core),
     /// and stay asleep past the horizon when the hint lies beyond it.
+    ///
+    /// With `leap` set (and a [`OrderingEngine::leap_transparent`] engine),
+    /// admitted stretches run through [`Core::leap_run`] instead of one
+    /// `fast_cycle` call per cycle — same simulated behaviour, a fraction of
+    /// the host work per cycle.
     ///
     /// Every emission — snoop replies first, then coherence requests, the
     /// serial routing order within one core's cycle — is appended to `sink`
@@ -946,10 +1073,12 @@ impl Core {
         from: Cycle,
         until: Cycle,
         batch: bool,
+        leap: bool,
         sleep: &mut Option<CoreSleep>,
         sink: &mut Vec<(Cycle, FabricInput)>,
     ) -> EpochStepReport {
         let mut report = EpochStepReport::default();
+        let leap = leap && batch && self.leap_ok;
         let mut t = from;
         while t < until {
             if let Some(s) = *sleep {
@@ -972,6 +1101,19 @@ impl Core {
                     // can wake it.
                     _ => break,
                 }
+            }
+            // Leap admission: the non-engine terms of `batch_ready` (the
+            // engine terms hold unconditionally for a leap-transparent
+            // engine). All three stay false across the run — nothing inside
+            // `leap_run` defers snoops, queues replies, or leaves requests
+            // unrouted — so the gate is checked once per run, not per cycle.
+            if leap
+                && self.deferred.is_empty()
+                && self.pending_replies.is_empty()
+                && !self.mem.requests_pending()
+            {
+                t = self.leap_run(t, until, sleep, sink, &mut report);
+                continue;
             }
             let activity = match if batch { self.fast_cycle(t) } else { None } {
                 Some(fast) => fast,

@@ -246,6 +246,32 @@ pub trait OrderingEngine: Send {
     /// Called once when the simulation ends so any still-provisional state
     /// (an open speculative episode) is folded into the final statistics.
     fn finalize(&mut self, _mem: &mut CoreMem, _stats: &mut CoreStats) {}
+
+    /// Whether the leap kernel may advance a core driven by this engine over
+    /// multi-cycle runs without consulting the engine each cycle. Returning
+    /// `true` is a *standing contract*, stronger than a dead
+    /// [`OrderingEngine::next_unbatchable_event`] window — the engine
+    /// guarantees, for the whole run of the simulation:
+    ///
+    /// * `tick` never acts, and `next_wake` / `next_unbatchable_event` are
+    ///   always `None` (no timers, ever);
+    /// * `speculating` is always false and `rollback_floor` always `None`
+    ///   (no checkpoints, no post-retirement speculation, nothing for
+    ///   `finalize` to fold);
+    /// * `can_drain` is always true (no epoch gating of the store buffer);
+    /// * `record_cycles` keeps the default implementation, so attributing a
+    ///   run of n identically-classed cycles in one call is exactly n
+    ///   single-cycle calls.
+    ///
+    /// `try_retire`, `on_load_issue` and `on_external` still run through the
+    /// shared stage code every cycle — the contract only removes the
+    /// *per-cycle bookkeeping* interactions, which is what lets
+    /// [`crate::Core`]'s leap path replay a stretch of cycles with plain
+    /// loops over dense completion state. The conservative default opts an
+    /// engine out; speculative engines must never override it.
+    fn leap_transparent(&self) -> bool {
+        false
+    }
 }
 
 /// A minimal engine that retires everything as soon as it completes, with no
@@ -279,6 +305,12 @@ impl OrderingEngine for FreeRetireEngine {
         // No ordering constraints, no timers, no speculation: always a
         // pass-through for the batched fast path.
         None
+    }
+
+    fn leap_transparent(&self) -> bool {
+        // Stateless and non-speculative: every clause of the leap contract
+        // holds trivially.
+        true
     }
 }
 

@@ -41,4 +41,4 @@ pub use engine::{
     RetireOutcome,
 };
 pub use mem_side::CoreMem;
-pub use rob::{Rob, RobEntry};
+pub use rob::{Rob, RobEntry, RobView};

@@ -1,9 +1,22 @@
 //! Reorder buffer: in-flight instruction tracking.
+//!
+//! Completion state is kept structure-of-arrays style: the per-entry payload
+//! (`RobEntry`) lives in one ring, while the completion cycle and the issue
+//! flag live in two parallel rings pushed, popped, squashed and cleared in
+//! lockstep. The leap kernel's horizon queries — "when does the head
+//! complete", "where does the issued prefix end" — then read dense `u64`s /
+//! `bool`s without walking the wide entry structs.
 
 use ifence_mem::Ring;
 use ifence_types::{BlockAddr, Cycle, Instruction};
 
-/// One in-flight instruction.
+/// Sentinel completion cycle meaning "still executing / not yet issued for a
+/// miss". `Cycle::MAX` keeps the completion ring a dense `u64` array: the
+/// head-completion check is a single compare against `now`.
+const PENDING: Cycle = Cycle::MAX;
+
+/// One in-flight instruction (the payload half; completion cycle and issue
+/// flag are tracked by the [`Rob`] in parallel arrays).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RobEntry {
     /// Index of the instruction in the core's program (stable across replay).
@@ -13,11 +26,6 @@ pub struct RobEntry {
     pub dispatch_id: u64,
     /// The instruction itself.
     pub instr: Instruction,
-    /// Whether the instruction has been issued to the memory system / ALU.
-    pub issued: bool,
-    /// Cycle at which execution completes (None while still executing or not
-    /// yet issued for a miss).
-    pub complete_at: Option<Cycle>,
     /// The cache block the instruction accesses, if it is a memory operation.
     pub block: Option<BlockAddr>,
     /// Whether a load/atomic has performed its data read (needed for
@@ -33,10 +41,33 @@ pub struct RobEntry {
     pub loaded_value: Option<u64>,
 }
 
-impl RobEntry {
-    /// True once the instruction has finished executing by cycle `now`.
-    pub fn completed(&self, now: Cycle) -> bool {
-        self.complete_at.map(|c| c <= now).unwrap_or(false)
+/// A mutable borrow-split view of one ROB position: the entry payload plus
+/// its completion-cycle and issue-flag slots from the parallel rings. Used by
+/// the issue stage, which mutates all three while the memory side is borrowed
+/// separately.
+pub struct RobView<'a> {
+    /// The entry payload.
+    pub entry: &'a mut RobEntry,
+    /// Completion cycle slot ([`Cycle::MAX`] = pending).
+    complete_at: &'a mut Cycle,
+    /// Issue flag slot.
+    issued: &'a mut bool,
+}
+
+impl RobView<'_> {
+    /// Whether the instruction has been issued.
+    pub fn issued(&self) -> bool {
+        *self.issued
+    }
+
+    /// Marks the instruction issued.
+    pub fn set_issued(&mut self) {
+        *self.issued = true;
+    }
+
+    /// Records the completion cycle.
+    pub fn set_complete_at(&mut self, cycle: Cycle) {
+        *self.complete_at = cycle;
     }
 }
 
@@ -50,6 +81,7 @@ impl RobEntry {
 /// rob.push(0, 0, Instruction::load(Addr::new(0x40)));
 /// assert_eq!(rob.len(), 1);
 /// assert!(rob.head().is_some());
+/// assert_eq!(rob.head_complete_at(), None);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Rob {
@@ -57,12 +89,20 @@ pub struct Rob {
     // entries live in a never-reallocated `Vec` addressed by head + length —
     // the batched kernel's scans walk plain slices, not a rotated deque.
     entries: Ring<RobEntry>,
+    /// Completion cycles, parallel to `entries` ([`PENDING`] = not complete).
+    complete_at: Ring<Cycle>,
+    /// Issue flags, parallel to `entries`.
+    issued: Ring<bool>,
 }
 
 impl Rob {
     /// Creates an empty reorder buffer with the given capacity.
     pub fn new(capacity: usize) -> Self {
-        Rob { entries: Ring::with_capacity(capacity) }
+        Rob {
+            entries: Ring::with_capacity(capacity),
+            complete_at: Ring::with_capacity(capacity),
+            issued: Ring::with_capacity(capacity),
+        }
     }
 
     /// Number of in-flight instructions.
@@ -90,13 +130,13 @@ impl Rob {
             program_index,
             dispatch_id,
             instr,
-            issued: false,
-            complete_at: None,
             block: None,
             performed_read: false,
             bound_at_head: false,
             loaded_value: None,
         });
+        self.complete_at.push_back(PENDING);
+        self.issued.push_back(false);
     }
 
     /// The `index`-th oldest in-flight instruction (0 = head). A flat-ring
@@ -111,6 +151,15 @@ impl Rob {
         self.entries.get_mut(index)
     }
 
+    /// Borrow-split mutable view of the `index`-th oldest position: entry
+    /// payload plus its completion/issue slots from the parallel rings.
+    pub fn view_mut(&mut self, index: usize) -> Option<RobView<'_>> {
+        let entry = self.entries.get_mut(index)?;
+        let complete_at = self.complete_at.get_mut(index).expect("parallel ring in lockstep");
+        let issued = self.issued.get_mut(index).expect("parallel ring in lockstep");
+        Some(RobView { entry, complete_at, issued })
+    }
+
     /// The oldest in-flight instruction.
     pub fn head(&self) -> Option<&RobEntry> {
         self.entries.front()
@@ -121,9 +170,51 @@ impl Rob {
         self.entries.front_mut()
     }
 
+    /// Completion cycle of the `index`-th oldest instruction (`None` while
+    /// still executing or not yet issued for a miss).
+    pub fn complete_at(&self, index: usize) -> Option<Cycle> {
+        self.complete_at.get(index).copied().filter(|&c| c != PENDING)
+    }
+
+    /// Records the completion cycle of the `index`-th oldest instruction.
+    pub fn set_complete_at(&mut self, index: usize, cycle: Cycle) {
+        if let Some(slot) = self.complete_at.get_mut(index) {
+            *slot = cycle;
+        }
+    }
+
+    /// Whether the `index`-th oldest instruction has been issued.
+    pub fn is_issued(&self, index: usize) -> bool {
+        self.issued.get(index).copied().unwrap_or(false)
+    }
+
+    /// Completion cycle of the head instruction, if known. This is the leap
+    /// kernel's O(1) horizon query: one dense `u64` read, no entry walk.
+    pub fn head_complete_at(&self) -> Option<Cycle> {
+        self.complete_at(0)
+    }
+
+    /// True once the head instruction has finished executing by `now`.
+    pub fn head_completed(&self, now: Cycle) -> bool {
+        // PENDING is Cycle::MAX, so a single compare folds the "known and
+        // due" check into one branch.
+        self.complete_at.front().is_some_and(|&c| c <= now)
+    }
+
+    /// Position (0 = head) of the in-flight instruction with the given
+    /// dispatch id, if it is still in flight.
+    pub fn position_of(&self, dispatch_id: u64) -> Option<usize> {
+        self.entries.iter().position(|e| e.dispatch_id == dispatch_id)
+    }
+
     /// Removes and returns the oldest instruction (retirement).
     pub fn pop_head(&mut self) -> Option<RobEntry> {
-        self.entries.pop_front()
+        let entry = self.entries.pop_front();
+        if entry.is_some() {
+            self.complete_at.pop_front();
+            self.issued.pop_front();
+        }
+        entry
     }
 
     /// Iterates over in-flight instructions oldest-first.
@@ -136,18 +227,41 @@ impl Rob {
         self.entries.iter_mut()
     }
 
+    /// Iterates `(entry, complete_at, issued)` oldest-first across the
+    /// parallel rings (`complete_at` is `None` while pending).
+    pub fn status_iter(&self) -> impl Iterator<Item = (&RobEntry, Option<Cycle>, bool)> {
+        self.entries
+            .iter()
+            .zip(self.complete_at.iter())
+            .zip(self.issued.iter())
+            .map(|((e, &c), &i)| (e, Some(c).filter(|&c| c != PENDING), i))
+    }
+
     /// Discards every in-flight instruction (pipeline squash), returning how
     /// many were discarded.
     pub fn squash_all(&mut self) -> usize {
         let n = self.entries.len();
         self.entries.clear();
+        self.complete_at.clear();
+        self.issued.clear();
         n
     }
 
     /// Discards every instruction at or after `program_index` (partial squash
     /// used by in-window ordering replays), returning how many were discarded.
+    /// Entries sit in program order, so the squash is a suffix truncation of
+    /// all three parallel rings.
     pub fn squash_from(&mut self, program_index: usize) -> usize {
-        self.entries.retain(|e| e.program_index < program_index)
+        let old_len = self.entries.len();
+        let kept = self.entries.iter().take_while(|e| e.program_index < program_index).count();
+        debug_assert!(
+            self.entries.iter().skip(kept).all(|e| e.program_index >= program_index),
+            "reorder buffer entries must be in program order"
+        );
+        self.entries.truncate(kept);
+        self.complete_at.truncate(kept);
+        self.issued.truncate(kept);
+        old_len - kept
     }
 
     /// Finds the oldest entry that has performed a read of `block` (used by
@@ -196,11 +310,39 @@ mod tests {
         for i in 0..6usize {
             rob.push(i, i as u64, Instruction::op(1));
         }
+        rob.set_complete_at(0, 10);
         assert_eq!(rob.squash_from(3), 3);
         assert_eq!(rob.len(), 3);
         assert!(rob.iter().all(|e| e.program_index < 3));
+        assert_eq!(rob.head_complete_at(), Some(10), "survivor state untouched");
         assert_eq!(rob.squash_all(), 3);
         assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn parallel_rings_stay_in_lockstep_across_squash_and_refill() {
+        let mut rob = Rob::new(4);
+        for i in 0..4usize {
+            rob.push(i, i as u64, Instruction::op(1));
+            if let Some(mut v) = rob.view_mut(i) {
+                v.set_issued();
+                v.set_complete_at(100 + i as u64);
+            }
+        }
+        assert_eq!(rob.squash_from(2), 2);
+        // Refill the freed tail; the fresh entries must come back pending.
+        rob.push(2, 10, Instruction::op(1));
+        rob.push(3, 11, Instruction::op(1));
+        assert_eq!(rob.complete_at(0), Some(100));
+        assert_eq!(rob.complete_at(1), Some(101));
+        assert_eq!(rob.complete_at(2), None);
+        assert!(!rob.is_issued(2));
+        assert!(rob.is_issued(1));
+        let statuses: Vec<_> = rob.status_iter().map(|(e, c, i)| (e.dispatch_id, c, i)).collect();
+        assert_eq!(
+            statuses,
+            vec![(0, Some(100), true), (1, Some(101), true), (10, None, false), (11, None, false)]
+        );
     }
 
     #[test]
@@ -221,10 +363,22 @@ mod tests {
     fn completion_check() {
         let mut rob = Rob::new(2);
         rob.push(0, 0, Instruction::op(1));
-        let e = rob.head_mut().unwrap();
-        assert!(!e.completed(100));
-        e.complete_at = Some(50);
-        assert!(rob.head().unwrap().completed(100));
-        assert!(!rob.head().unwrap().completed(49));
+        assert!(!rob.head_completed(100));
+        assert_eq!(rob.head_complete_at(), None);
+        rob.set_complete_at(0, 50);
+        assert!(rob.head_completed(100));
+        assert!(!rob.head_completed(49));
+        assert_eq!(rob.head_complete_at(), Some(50));
+    }
+
+    #[test]
+    fn position_of_tracks_dispatch_ids() {
+        let mut rob = Rob::new(4);
+        rob.push(0, 7, Instruction::op(1));
+        rob.push(1, 9, Instruction::op(1));
+        assert_eq!(rob.position_of(9), Some(1));
+        rob.pop_head();
+        assert_eq!(rob.position_of(9), Some(0));
+        assert_eq!(rob.position_of(7), None);
     }
 }

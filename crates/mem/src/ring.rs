@@ -129,6 +129,18 @@ impl<T> Ring<T> {
         self.len = 0;
     }
 
+    /// Keeps only the oldest `len` elements, discarding the tail. A no-op
+    /// when `len >= self.len()`. Truncating to zero re-anchors the ring like
+    /// [`Ring::clear`].
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+            if len == 0 {
+                self.head = 0;
+            }
+        }
+    }
+
     /// The occupied region as (first, wrapped) slice lengths over the
     /// physical backing.
     fn split_lens(&self) -> (usize, usize) {

@@ -29,8 +29,8 @@
 //! cycle-major; within a cycle the delivery phase before the per-core phase;
 //! within the delivery phase the fabric's own delivery order; within the
 //! per-core phase ascending core index, each core's replies before its
-//! requests. Workers tag every buffered emission with (cycle, phase, order)
-//! and the control thread replays the stable-sorted log through
+//! requests. Workers tag every buffered emission with (cycle, phase, order,
+//! seq) and the control thread replays the sorted log through
 //! [`ifence_coherence::CoherenceFabric::ingest`] — the exact call sequence
 //! the serial kernel would have made, so heap keys, sequence numbers, slab
 //! layouts, statistics and therefore all simulated results are identical.
@@ -57,13 +57,17 @@ use std::sync::Mutex;
 
 /// One buffered core→fabric message with its position in the serial routing
 /// order: `cycle`-major, `phase` (0 = delivery-phase routing, 1 = per-core
-/// stepping) next, `order` (delivery index / core index) minor. Ties — one
-/// core's several emissions in one cycle — keep insertion order under the
-/// stable sort, which is already the serial order (replies before requests).
+/// stepping) next, `order` (delivery index / core index), then `seq`. Ties on
+/// (cycle, phase, order) — one core's several emissions in one cycle — are
+/// always produced by a single chunk (an order value names one delivery or
+/// one core, each owned by exactly one chunk), so the per-log push index
+/// `seq` reconstructs their insertion order (replies before requests) and
+/// the merge can use an allocation-free unstable sort on the now-unique key.
 struct MergeEntry {
     cycle: Cycle,
     phase: u8,
     order: u64,
+    seq: u32,
     input: FabricInput,
 }
 
@@ -127,18 +131,25 @@ struct Chunk {
 }
 
 impl Chunk {
-    /// Runs one epoch over this chunk's cores: replay the delivery phase for
-    /// the deliveries addressed here, then step every core independently to
-    /// the horizon, logging all fabric traffic in merge order.
-    fn run_epoch(&mut self, input: &EpochInput, output: &mut EpochOutput, batch: bool) {
+    /// Runs one epoch over this chunk's cores: the delivery phase, then the
+    /// step phase. Workers call this back to back; the control thread calls
+    /// the two phases separately so each runs under its own profiler timer
+    /// (delivery handling under `DeliveryRouting`, stepping under
+    /// `CoreStep` — the same attribution the serial kernels use).
+    fn run_epoch(&mut self, input: &EpochInput, output: &mut EpochOutput, batch: bool, leap: bool) {
+        self.run_delivery_phase(input, output);
+        self.run_step_phase(input, output, batch, leap);
+    }
+
+    /// Delivery phase (all deliveries land at the epoch start): wake the
+    /// target, handle, and log the reply and any directly queued requests
+    /// under the delivery's global order — exactly the serial delivery
+    /// loop, minus the fabric calls (replayed at merge time).
+    fn run_delivery_phase(&mut self, input: &EpochInput, output: &mut EpochOutput) {
         let start = input.start;
         output.log.clear();
         output.reports.clear();
         output.last_progress = None;
-        // Delivery phase (all deliveries land at the epoch start): wake the
-        // target, handle, and log the reply and any directly queued requests
-        // under the delivery's global order — exactly the serial delivery
-        // loop, minus the fabric calls (replayed at merge time).
         for &(order, delivery) in &input.deliveries {
             let li = delivery.core().index() - self.first;
             if let Some(sleep) = self.sleep[li].take() {
@@ -151,6 +162,7 @@ impl Chunk {
                     cycle: start,
                     phase: 0,
                     order,
+                    seq: output.log.len() as u32,
                     input: FabricInput::Reply(reply),
                 });
             }
@@ -160,24 +172,56 @@ impl Chunk {
                     cycle: start,
                     phase: 0,
                     order,
+                    seq: output.log.len() as u32,
                     input: FabricInput::Request(request),
                 });
             }
             output.last_progress = Some(start);
         }
-        // Step phase: each core runs `[start, horizon)` on its own.
+    }
+
+    /// Step phase: each core runs `[start, horizon)` on its own. Cores that
+    /// entered the epoch asleep with no wake hint inside it are skipped
+    /// outright — `step_until` would observe the hint at or past the horizon
+    /// and return untouched (the delivery phase already woke every delivery
+    /// target), so the report is constructed directly from the sleep state.
+    fn run_step_phase(
+        &mut self,
+        input: &EpochInput,
+        output: &mut EpochOutput,
+        batch: bool,
+        leap: bool,
+    ) {
+        let start = input.start;
         for li in 0..self.cores.len() {
+            if let Some(sleep) = self.sleep[li] {
+                if sleep.wake_at.map_or(true, |w| w >= input.horizon) {
+                    output.reports.push(CoreReport {
+                        finished_at: self.finished_at[li],
+                        asleep: true,
+                        wake_at: sleep.wake_at,
+                    });
+                    continue;
+                }
+            }
             let order = (self.first + li) as u64;
             self.emit.clear();
             let report = self.cores[li].step_until(
                 start,
                 input.horizon,
                 batch,
+                leap,
                 &mut self.sleep[li],
                 &mut self.emit,
             );
             for &(cycle, input) in &self.emit {
-                output.log.push(MergeEntry { cycle, phase: 1, order, input });
+                output.log.push(MergeEntry {
+                    cycle,
+                    phase: 1,
+                    order,
+                    seq: output.log.len() as u32,
+                    input,
+                });
             }
             if self.finished_at[li].is_none() {
                 self.finished_at[li] = report.finished_at;
@@ -274,7 +318,13 @@ fn partition(cores: Vec<Core>, sleep: Vec<Option<CoreSleep>>, threads: usize) ->
     chunks
 }
 
-fn worker_main(mut chunk: Chunk, slot: &WorkerSlot, barrier: &SpinBarrier, batch: bool) {
+fn worker_main(
+    mut chunk: Chunk,
+    slot: &WorkerSlot,
+    barrier: &SpinBarrier,
+    batch: bool,
+    leap: bool,
+) {
     loop {
         // Barrier A: the control thread has published this epoch's input.
         barrier.wait();
@@ -284,7 +334,7 @@ fn worker_main(mut chunk: Chunk, slot: &WorkerSlot, barrier: &SpinBarrier, batch
                 break;
             }
             let mut output = slot.output.lock().expect("epoch output mutex");
-            chunk.run_epoch(&input, &mut output, batch);
+            chunk.run_epoch(&input, &mut output, batch, leap);
         }
         // Barrier B: every chunk is done; the control thread may merge.
         barrier.wait();
@@ -302,6 +352,7 @@ pub(crate) fn run_epoch_loop(m: &mut Machine, max_cycles: Cycle) -> (bool, Optio
     }
     let threads = m.threads.min(m.cores.len()).max(1);
     let batch = m.batch;
+    let leap = m.leap;
     let cores = std::mem::take(&mut m.cores);
     let sleeping = std::mem::take(&mut m.sleeping);
     let mut chunks = partition(cores, sleeping, threads);
@@ -312,9 +363,9 @@ pub(crate) fn run_epoch_loop(m: &mut Machine, max_cycles: Cycle) -> (bool, Optio
     let (verdict, control_chunk) = std::thread::scope(|s| {
         for (chunk, slot) in chunks.into_iter().zip(&slots) {
             let barrier = &barrier;
-            s.spawn(move || worker_main(chunk, slot, barrier, batch));
+            s.spawn(move || worker_main(chunk, slot, barrier, batch, leap));
         }
-        control_loop(m, control_chunk, &slots, &ranges, &barrier, max_cycles, batch)
+        control_loop(m, control_chunk, &slots, &ranges, &barrier, max_cycles, batch, leap)
     });
     // Reassemble the machine: every worker deposited its chunk on the way
     // out (the scope join guarantees they all have).
@@ -352,6 +403,7 @@ fn control_loop(
     barrier: &SpinBarrier,
     max_cycles: Cycle,
     batch: bool,
+    leap: bool,
 ) -> (Verdict, Chunk) {
     let n: usize = ranges.iter().map(|&(_, len)| len).sum();
     let loop_start = m.now;
@@ -410,12 +462,16 @@ fn control_loop(
         }
         drop(timer);
         barrier.wait(); // A: inputs published, everyone steps.
+        let timer = m.timer(Phase::DeliveryRouting);
+        chunk.run_delivery_phase(&control_input, &mut control_output);
+        drop(timer);
         let timer = m.timer(Phase::CoreStep);
-        chunk.run_epoch(&control_input, &mut control_output, batch);
+        chunk.run_step_phase(&control_input, &mut control_output, batch, leap);
         drop(timer);
         barrier.wait(); // B: every chunk done, outputs stable.
                         // Merge: fold every chunk's report and replay the combined log in
-                        // serial order (stable sort keeps each core's within-cycle order).
+                        // serial order (`seq` makes the key unique, so the in-place
+                        // unstable sort reproduces the stable within-cycle order).
         let timer = m.timer(Phase::Merge);
         merge.clear();
         fold(
@@ -439,7 +495,7 @@ fn control_loop(
                 &mut last_activity,
             );
         }
-        merge.sort_by_key(|e| (e.cycle, e.phase, e.order));
+        merge.sort_unstable_by_key(|e| (e.cycle, e.phase, e.order, e.seq));
         for entry in merge.drain(..) {
             m.fabric.ingest(entry.input, entry.cycle);
         }

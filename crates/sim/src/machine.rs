@@ -56,6 +56,23 @@
 //! merges every worker's buffered fabric traffic back in the exact serial
 //! order — so results stay byte-identical to the serial kernels at any
 //! thread count. The dense debug mode always runs serially.
+//!
+//! A fifth level, **leap execution**, accelerates the batched cycles
+//! themselves. A core whose ordering engine is leap-transparent
+//! ([`ifence_cpu::OrderingEngine::leap_transparent`]: no timers, no
+//! speculation, no drain gating — the conventional SC/TSO/RMO engines)
+//! advances over a whole run of cycles between fabric events in one call,
+//! running the identical live stages per cycle but none of the per-cycle
+//! kernel bookkeeping, with equal-class cycle runs attributed in bulk.
+//! Leaping always routes through the epoch kernel's merge — at
+//! `machine_threads == 1` the epoch loop degenerates to one worker and the
+//! merge restores the exact serial emission order — so the fabric sees an
+//! identical schedule and results stay byte-identical. On by default
+//! ([`MachineConfig::leap_kernel`]); `IFENCE_LEAP=0` disables it, and it is
+//! inert whenever batching is (dense mode included). A machine with no
+//! leap-transparent core — the speculative engines — never takes the leap
+//! routing at all: it stays on the serial batched kernel rather than pay
+//! the epoch merge for nothing.
 
 use ifence_coherence::{
     CoherenceFabric, CoherenceRequest, Delivery, EventQueue, FabricConfig, SnoopReply,
@@ -146,6 +163,13 @@ pub struct Machine {
     /// once at construction from [`MachineConfig::batch_kernel`] and the
     /// `IFENCE_BATCH` environment variable. Always false in dense mode.
     pub(crate) batch: bool,
+    /// Leap execution (see the module documentation), resolved once at
+    /// construction from [`MachineConfig::leap_kernel`], the `IFENCE_LEAP`
+    /// environment variable, and the engine's leap transparency. Requires
+    /// `batch` and at least one leap-transparent core; routes the run loop
+    /// through the epoch kernel at any thread count so emissions merge in
+    /// exact serial order.
+    pub(crate) leap: bool,
     /// Worker-thread count of the epoch-parallel kernel, resolved once at
     /// construction from [`MachineConfig::machine_threads`] and the
     /// `IFENCE_THREADS` environment variable, clamped to the core count.
@@ -230,6 +254,14 @@ impl Machine {
             .collect();
         let dense = cfg.dense_kernel || env_dense_override();
         let batch = cfg.batch_kernel && !env_batch_disabled() && !dense;
+        // Leaping requires the batched fast path and at least one core whose
+        // engine can actually leap: an all-speculative machine would pay the
+        // epoch loop's merge replay without any closed-form gain, so it
+        // stays on the serial batched kernel (byte-identical either way).
+        let leap = cfg.leap_kernel
+            && !env_leap_disabled()
+            && batch
+            && cores.iter().any(Core::leap_transparent);
         let threads = if dense {
             1
         } else {
@@ -250,6 +282,7 @@ impl Machine {
             now: 0,
             dense,
             batch,
+            leap,
             threads,
             sleeping,
             awake,
@@ -271,6 +304,12 @@ impl Machine {
     /// execution fast path (see the module documentation).
     pub fn batch_kernel(&self) -> bool {
         self.batch
+    }
+
+    /// True if this machine leaps leap-transparent cores over multi-cycle
+    /// runs between fabric events (see the module documentation).
+    pub fn leap_kernel(&self) -> bool {
+        self.leap
     }
 
     /// Number of worker threads the epoch-parallel kernel will use for this
@@ -516,7 +555,11 @@ impl Machine {
     /// two or more machine threads the epoch-parallel kernel takes over —
     /// byte-identical by construction (see `crate::epoch`).
     fn run_loop(&mut self, max_cycles: Cycle) -> (bool, Option<String>) {
-        if self.threads > 1 {
+        // Leap execution also routes through the epoch loop at one thread:
+        // its control loop merges each core's independently-emitted traffic
+        // back into the exact serial order, which is what makes multi-cycle
+        // per-core runs safe.
+        if self.threads > 1 || self.leap {
             return crate::epoch::run_epoch_loop(self, max_cycles);
         }
         while self.now < max_cycles && !self.all_finished() {
@@ -698,6 +741,17 @@ fn env_batch_disabled() -> bool {
 fn env_trace_override() -> bool {
     match std::env::var("IFENCE_TRACE") {
         Ok(raw) => parse_dense_flag(&raw).unwrap_or(false),
+        Err(_) => false,
+    }
+}
+
+/// True when the `IFENCE_LEAP` environment variable explicitly disables leap
+/// execution (`IFENCE_LEAP=0`). The environment can only turn leaping *off*
+/// — it is on by default and unrecognised values are treated as unset,
+/// mirroring `IFENCE_BATCH`.
+fn env_leap_disabled() -> bool {
+    match std::env::var("IFENCE_LEAP") {
+        Ok(raw) => parse_dense_flag(&raw) == Some(false),
         Err(_) => false,
     }
 }
@@ -922,10 +976,55 @@ mod tests {
         let mut cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
         cfg.dense_kernel = true;
         assert!(cfg.batch_kernel, "batching defaults on");
+        assert!(cfg.leap_kernel, "leaping defaults on");
         let programs = WorkloadSpec::uniform("dense-batch").generate(cfg.cores, 100, 2);
         let machine = Machine::new(cfg, programs).unwrap();
         assert!(machine.dense_kernel());
         assert!(!machine.batch_kernel(), "dense debug mode never batches");
+        assert!(!machine.leap_kernel(), "leaping requires the batched fast path");
+    }
+
+    #[test]
+    fn leap_and_stepped_kernels_agree_on_a_small_run() {
+        // Leap execution must be byte-identical to cycle-by-cycle batched
+        // stepping (the full matrix lives in tests/kernel_equivalence.rs and
+        // tests/leap_oracle.rs; this is the in-crate smoke). One
+        // leap-transparent engine where leaping actually engages, one
+        // speculative engine where machine construction refuses the leap
+        // routing outright (no core could leap, so the epoch merge would be
+        // pure overhead).
+        for engine in [
+            EngineKind::Conventional(ConsistencyModel::Sc),
+            EngineKind::InvisiSelective(ConsistencyModel::Sc),
+        ] {
+            let spec = WorkloadSpec::uniform("leap-mode");
+            let leap_cfg = MachineConfig::small_test(engine);
+            let mut stepped_cfg = MachineConfig::small_test(engine);
+            stepped_cfg.leap_kernel = false;
+            let programs = spec.generate(leap_cfg.cores, 500, 11);
+            let leaping = Machine::new(leap_cfg, programs.clone()).unwrap();
+            let stepped = Machine::new(stepped_cfg, programs).unwrap();
+            // Under IFENCE_LEAP=0 (or a forced dense/batch-off environment)
+            // both machines run the same kernel and the comparison holds
+            // trivially; in the default environment this really is
+            // leap-vs-stepped.
+            assert!(!stepped.leap_kernel());
+            if matches!(engine, EngineKind::InvisiSelective(_)) {
+                assert!(
+                    !leaping.leap_kernel(),
+                    "a machine with no leap-transparent core must not take the epoch routing"
+                );
+            }
+            let leap_result = leaping.into_result(5_000_000);
+            let stepped_result = stepped.into_result(5_000_000);
+            assert!(leap_result.finished);
+            assert_eq!(
+                leap_result,
+                stepped_result,
+                "{}: leaping must be byte-identical",
+                engine.label()
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! buffer, speculation policy, latencies, seed), the workload recipe, the
 //! trace budget and the cycle limit, plus [`SCHEMA_VERSION`]. Anything
 //! *proven* not to affect results is normalized out: the kernel mode
-//! (`dense_kernel` / `batch_kernel`, byte-identical by
+//! (`dense_kernel` / `batch_kernel` / `leap_kernel`, byte-identical by
 //! `tests/kernel_equivalence.rs`), the intra-machine thread count
 //! (`machine_threads`, byte-identical by the same suite) and the sweep
 //! parallelism (never part of the config) do not reach the hash, so
@@ -42,7 +42,11 @@ use ifence_workloads::Workload;
 /// v5: the telemetry layer — `MachineConfig` gained `trace` (normalized out
 /// of keys: tracing never changes simulated results) and `RunSummary`
 /// gained the `histograms` block (serialized layout change).
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6: `MachineConfig` gained `leap_kernel` (serialized layout change; the
+/// flag itself is normalized out of keys like the other kernel flags,
+/// because leap execution is byte-identical by `tests/kernel_equivalence.rs`).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// FNV-1a over a byte string (the store's only hash; deterministic across
 /// platforms and runs, unlike `std`'s `DefaultHasher`). Re-exported from
@@ -74,6 +78,7 @@ impl CellKey {
         let mut machine = machine.clone();
         machine.dense_kernel = false;
         machine.batch_kernel = true;
+        machine.leap_kernel = true;
         machine.machine_threads = 1;
         machine.trace = false;
         let doc = Json::Object(vec![
@@ -164,6 +169,17 @@ mod tests {
         cfg.batch_kernel = false;
         let event = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
         assert_eq!(batched, event, "batching is proven byte-identical; keys must match");
+    }
+
+    #[test]
+    fn leap_kernel_flag_is_normalized_out() {
+        let engine = EngineKind::Conventional(ConsistencyModel::Sc);
+        let mut cfg = MachineConfig::small_test(engine);
+        cfg.seed = 7;
+        let leaping = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
+        cfg.leap_kernel = false;
+        let stepped = CellKey::new(&cfg, &presets::barnes().into(), 500, 1_000_000);
+        assert_eq!(leaping, stepped, "leaping is proven byte-identical; keys must match");
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //!    byte-identical (structurally and re-encoded) to the untraced run, on
 //!    both the serial batched kernel and the epoch-parallel kernel.
 //! 2. **The stream is kernel-invariant** — the JSONL trace exported through
-//!    the store codec is byte-identical across all six kernel modes
-//!    (dense / event-driven / batched / epoch-parallel at 1, 2 and 4
-//!    threads).
+//!    the store codec is byte-identical across all nine kernel modes
+//!    (dense / event-driven / batched / leap / epoch-parallel at 1, 2 and 4
+//!    threads / leap-epoch at 2 and 4 threads).
 //!
 //! ```text
 //! IFENCE_TRACE=1 cargo run --release --example trace_smoke
@@ -24,26 +24,30 @@ use ifence_store::{trace_to_jsonl, JsonCodec};
 use ifence_types::{ConsistencyModel, EngineKind, MachineConfig};
 use ifence_workloads::presets;
 
-const MODES: [(&str, bool, bool, usize); 6] = [
-    // (label, dense_kernel, batch_kernel, machine_threads)
-    ("dense", true, false, 1),
-    ("event", false, false, 1),
-    ("batched", false, true, 1),
-    ("epoch-1", false, true, 1),
-    ("epoch-2", false, true, 2),
-    ("epoch-4", false, true, 4),
+const MODES: [(&str, bool, bool, bool, usize); 9] = [
+    // (label, dense_kernel, batch_kernel, leap_kernel, machine_threads)
+    ("dense", true, false, false, 1),
+    ("event", false, false, false, 1),
+    ("batched", false, true, false, 1),
+    ("leap", false, true, true, 1),
+    ("epoch-1", false, true, false, 1),
+    ("epoch-2", false, true, false, 2),
+    ("epoch-4", false, true, false, 4),
+    ("leap-epoch-2", false, true, true, 2),
+    ("leap-epoch-4", false, true, true, 4),
 ];
 
 fn run(
     engine: EngineKind,
-    mode: (&str, bool, bool, usize),
+    mode: (&str, bool, bool, bool, usize),
     trace: bool,
     instrs: usize,
 ) -> (MachineResult, MachineTrace) {
-    let (_, dense, batch, threads) = mode;
+    let (_, dense, batch, leap, threads) = mode;
     let mut cfg = MachineConfig::small_test(engine);
     cfg.dense_kernel = dense;
     cfg.batch_kernel = batch;
+    cfg.leap_kernel = leap;
     cfg.machine_threads = threads;
     cfg.trace = trace;
     let programs = presets::apache().generate(cfg.cores, instrs, cfg.seed);
@@ -76,14 +80,14 @@ fn main() {
         traced.to_json().encode(),
         "tracing changed the encoded result"
     );
-    let (epoch_untraced, _) = run(engine, MODES[5], false, instrs);
-    let (epoch_traced, _) = run(engine, MODES[5], true, instrs);
+    let (epoch_untraced, _) = run(engine, MODES[6], false, instrs);
+    let (epoch_traced, _) = run(engine, MODES[6], true, instrs);
     assert_eq!(untraced, epoch_untraced, "epoch kernel diverged untraced");
     assert_eq!(untraced, epoch_traced, "tracing changed the simulated result (epoch kernel)");
     assert_eq!(reference.dropped, 0, "the smoke scale must trace losslessly");
     assert!(!reference.events.is_empty(), "traced smoke run collected no events");
 
-    // 2. The JSONL stream is byte-identical across all six kernel modes.
+    // 2. The JSONL stream is byte-identical across all nine kernel modes.
     let reference_jsonl = trace_to_jsonl(&reference);
     for mode in MODES {
         let (result, stream) = run(engine, mode, true, instrs);

@@ -1,19 +1,23 @@
-//! Four-way kernel equivalence: the event-driven simulation kernel skips
+//! Five-way kernel equivalence: the event-driven simulation kernel skips
 //! cycles only when they are provably no-ops, the batched execution fast
 //! path elides a stepped cycle's maintenance stages only when they are
-//! provably dead, and the epoch-parallel kernel steps disjoint core
-//! partitions concurrently only up to a horizon the coherence fabric proves
-//! interaction-free — so for every ordering engine and workload all four
-//! schedules (dense, event-driven, batched, epoch-parallel at any thread
-//! count) must produce byte-identical [`MachineResult`]s — cycle counts,
+//! provably dead, the epoch-parallel kernel steps disjoint core partitions
+//! concurrently only up to a horizon the coherence fabric proves
+//! interaction-free, and leap execution advances leap-transparent cores
+//! over whole event-free runs in one streamlined loop — so for every
+//! ordering engine and workload all five schedules (dense, event-driven,
+//! batched, leap, epoch-parallel at any thread count, with and without
+//! leaping) must produce byte-identical [`MachineResult`]s — cycle counts,
 //! per-core counters, runtime breakdowns and retired-load values alike.
 //!
 //! This is the safety net for the whole quiescence analysis, for the
-//! batching contract, and for the epoch-parallel merge order: any wake hint
-//! that fires too late, any state change the activity report misses, any
-//! mis-attributed skipped cycle, any fast cycle whose elided stages were not
-//! actually dead, or any cross-thread emission merged into the fabric out of
-//! serial order shows up here as a field-level mismatch.
+//! batching contract, for the leap-transparency contract, and for the
+//! epoch-parallel merge order: any wake hint that fires too late, any state
+//! change the activity report misses, any mis-attributed skipped cycle, any
+//! fast cycle whose elided stages were not actually dead, any cycle-run
+//! attribution a leap flushes wrongly, or any cross-thread emission merged
+//! into the fabric out of serial order shows up here as a field-level
+//! mismatch.
 
 use ifence_sim::{Machine, MachineResult};
 use invisifence_repro::prelude::*;
@@ -30,23 +34,31 @@ enum KernelMode {
     Event,
     /// Event-driven plus the per-core batched fast path.
     Batched,
+    /// Batched plus leap execution (serially: the epoch loop at one thread).
+    Leap,
     /// Batched, with cores partitioned across this many worker threads
-    /// stepping epoch-synchronously.
+    /// stepping epoch-synchronously. Leaping off.
     EpochParallel(usize),
+    /// Epoch-parallel with leap execution inside each worker's epochs.
+    LeapEpoch(usize),
 }
 
 impl KernelMode {
-    const ALL: [KernelMode; 6] = [
+    const ALL: [KernelMode; 9] = [
         KernelMode::Dense,
         KernelMode::Event,
         KernelMode::Batched,
+        KernelMode::Leap,
         KernelMode::EpochParallel(1),
         KernelMode::EpochParallel(2),
         KernelMode::EpochParallel(4),
+        KernelMode::LeapEpoch(2),
+        KernelMode::LeapEpoch(4),
     ];
 
     fn apply(self, cfg: &mut MachineConfig) {
         cfg.machine_threads = 1;
+        cfg.leap_kernel = false;
         match self {
             KernelMode::Dense => {
                 cfg.dense_kernel = true;
@@ -60,9 +72,20 @@ impl KernelMode {
                 cfg.dense_kernel = false;
                 cfg.batch_kernel = true;
             }
+            KernelMode::Leap => {
+                cfg.dense_kernel = false;
+                cfg.batch_kernel = true;
+                cfg.leap_kernel = true;
+            }
             KernelMode::EpochParallel(threads) => {
                 cfg.dense_kernel = false;
                 cfg.batch_kernel = true;
+                cfg.machine_threads = threads;
+            }
+            KernelMode::LeapEpoch(threads) => {
+                cfg.dense_kernel = false;
+                cfg.batch_kernel = true;
+                cfg.leap_kernel = true;
                 cfg.machine_threads = threads;
             }
         }
@@ -187,11 +210,13 @@ fn epoch_parallel_runs_are_repeat_deterministic() {
     // run, executed three times, must reproduce itself exactly.
     let workload = presets::apache();
     let engine = EngineKind::InvisiSelective(ConsistencyModel::Sc);
-    let reference = run_with_kernel(engine, &workload, KernelMode::EpochParallel(4));
-    assert!(reference.finished);
-    for repeat in 1..3 {
-        let again = run_with_kernel(engine, &workload, KernelMode::EpochParallel(4));
-        assert_eq!(reference, again, "repeat {repeat} of the same 4-thread run diverges");
+    for mode in [KernelMode::EpochParallel(4), KernelMode::LeapEpoch(4)] {
+        let reference = run_with_kernel(engine, &workload, mode);
+        assert!(reference.finished);
+        for repeat in 1..3 {
+            let again = run_with_kernel(engine, &workload, mode);
+            assert_eq!(reference, again, "repeat {repeat} of the same {mode:?} run diverges");
+        }
     }
 }
 
@@ -208,7 +233,8 @@ fn all_modes_are_distinct_configurations() {
         }
         let mut cfg = MachineConfig::small_test(EngineKind::Conventional(ConsistencyModel::Sc));
         mode.apply(&mut cfg);
-        let fingerprint = (cfg.dense_kernel, cfg.batch_kernel, cfg.machine_threads);
+        let fingerprint =
+            (cfg.dense_kernel, cfg.batch_kernel, cfg.leap_kernel, cfg.machine_threads);
         assert!(!seen.contains(&fingerprint), "{mode:?} duplicates another mode");
         seen.push(fingerprint);
     }

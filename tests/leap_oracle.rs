@@ -1,0 +1,97 @@
+//! Leap-horizon oracle: a property test that holds leap execution to
+//! byte-identity against cycle-by-cycle stepping on *randomly parameterised*
+//! machines, not just the curated presets.
+//!
+//! Each case draws a fresh workload shape (memory mix, contention, working
+//! set, burstiness), seed and thread count from a seeded generator, then runs
+//! the identical machine twice — once with `leap_kernel` enabled, once
+//! stepping every cycle through the batched kernel — and requires the two
+//! runs to agree on the entire traced [`MachineResult`]: cycle counts,
+//! per-core counters and breakdowns, retired-load values, histograms, and
+//! the full JSONL trace stream. Engines rotate through every implemented
+//! kind, so the oracle covers both the leap-transparent engines (where the
+//! closed-form advancement actually engages) and the speculative ones (where
+//! the per-core gate must correctly refuse to leap while the machine still
+//! routes through the epoch merge).
+
+use ifence_sim::{Machine, MachineResult};
+use ifence_stats::MachineTrace;
+use ifence_store::trace_to_jsonl;
+use ifence_workloads::TraceRng;
+use invisifence_repro::prelude::*;
+
+const MAX_CYCLES: u64 = 30_000_000;
+const CASES: usize = 24;
+
+/// A uniform draw in `[0, 1)` from the workload generator's own RNG.
+fn unit(rng: &mut TraceRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A uniform draw in `[lo, hi]`.
+fn range(rng: &mut TraceRng, lo: usize, hi: usize) -> usize {
+    lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize
+}
+
+/// A random but valid workload shape: probabilities span quiet to heavily
+/// contended, working sets span L1-resident to thrashing.
+fn random_spec(rng: &mut TraceRng, case: usize) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::uniform(format!("oracle-{case}"));
+    spec.mem_fraction = 0.1 + 0.6 * unit(rng);
+    spec.store_fraction = 0.1 + 0.5 * unit(rng);
+    spec.critical_section_rate = 0.02 * unit(rng);
+    spec.critical_section_len = range(rng, 2, 20);
+    spec.locks = range(rng, 1, 64);
+    spec.shared_fraction = 0.5 * unit(rng);
+    spec.shared_blocks = range(rng, 64, 4096);
+    spec.private_blocks = range(rng, 64, 4096);
+    spec.store_burst_rate = 0.02 * unit(rng);
+    spec.store_burst_len = range(rng, 2, 10);
+    spec.fence_rate = 0.005 * unit(rng);
+    spec.validate().expect("generated spec must be valid");
+    spec
+}
+
+fn run(
+    engine: EngineKind,
+    spec: &WorkloadSpec,
+    instructions: usize,
+    seed: u64,
+    threads: usize,
+    leap: bool,
+) -> (MachineResult, MachineTrace) {
+    let mut cfg = MachineConfig::small_test(engine);
+    cfg.seed = seed;
+    cfg.machine_threads = threads;
+    cfg.leap_kernel = leap;
+    cfg.trace = true;
+    let programs = spec.generate(cfg.cores, instructions, cfg.seed);
+    Machine::new(cfg, programs).expect("valid config").into_result_with_trace(MAX_CYCLES)
+}
+
+#[test]
+fn leaping_is_byte_identical_to_stepping_on_random_machines() {
+    let engines = EngineKind::all();
+    let mut rng = TraceRng::seed_from_u64(0x1ea9_0c1e_5eed);
+    for case in 0..CASES {
+        let spec = random_spec(&mut rng, case);
+        let engine = engines[case % engines.len()];
+        let instructions = range(&mut rng, 200, 900);
+        let seed = rng.next_u64();
+        let threads = [1, 1, 2, 4][range(&mut rng, 0, 3)];
+        let label = format!(
+            "case {case}: {} on {} ({instructions} instrs, seed {seed:#x}, {threads} threads)",
+            engine.label(),
+            spec.name
+        );
+        let (stepped, stepped_trace) = run(engine, &spec, instructions, seed, threads, false);
+        let (leaped, leaped_trace) = run(engine, &spec, instructions, seed, threads, true);
+        assert!(stepped.finished, "{label}: stepped run did not finish");
+        assert_eq!(stepped, leaped, "{label}: leap execution changed the simulated result");
+        assert_eq!(
+            trace_to_jsonl(&stepped_trace),
+            trace_to_jsonl(&leaped_trace),
+            "{label}: leap execution changed the trace stream"
+        );
+    }
+}

@@ -6,12 +6,12 @@
 //!    a [`MachineResult`] byte-identical (and byte-identical when encoded)
 //!    to the untraced run — trace sinks observe the simulation, they never
 //!    perturb it.
-//! 2. **The trace is kernel-invariant.** All six kernel modes
-//!    (dense/event/batched/epoch-1/2/4) execute the identical simulated
-//!    interaction sequence, so their merged traces — exported as JSONL
-//!    through the store codec — must be byte-identical. A kernel that
-//!    reorders one interaction fails here with a named event at a named
-//!    cycle, long before aggregate counters could localize it.
+//! 2. **The trace is kernel-invariant.** All nine kernel modes
+//!    (dense/event/batched/leap/epoch-1/2/4/leap-epoch-2/4) execute the
+//!    identical simulated interaction sequence, so their merged traces —
+//!    exported as JSONL through the store codec — must be byte-identical. A
+//!    kernel that reorders one interaction fails here with a named event at
+//!    a named cycle, long before aggregate counters could localize it.
 
 use ifence_sim::{Machine, MachineResult};
 use ifence_stats::MachineTrace;
@@ -26,21 +26,27 @@ enum KernelMode {
     Dense,
     Event,
     Batched,
+    Leap,
     EpochParallel(usize),
+    LeapEpoch(usize),
 }
 
 impl KernelMode {
-    const ALL: [KernelMode; 6] = [
+    const ALL: [KernelMode; 9] = [
         KernelMode::Dense,
         KernelMode::Event,
         KernelMode::Batched,
+        KernelMode::Leap,
         KernelMode::EpochParallel(1),
         KernelMode::EpochParallel(2),
         KernelMode::EpochParallel(4),
+        KernelMode::LeapEpoch(2),
+        KernelMode::LeapEpoch(4),
     ];
 
     fn apply(self, cfg: &mut MachineConfig) {
         cfg.machine_threads = 1;
+        cfg.leap_kernel = false;
         match self {
             KernelMode::Dense => {
                 cfg.dense_kernel = true;
@@ -54,9 +60,20 @@ impl KernelMode {
                 cfg.dense_kernel = false;
                 cfg.batch_kernel = true;
             }
+            KernelMode::Leap => {
+                cfg.dense_kernel = false;
+                cfg.batch_kernel = true;
+                cfg.leap_kernel = true;
+            }
             KernelMode::EpochParallel(threads) => {
                 cfg.dense_kernel = false;
                 cfg.batch_kernel = true;
+                cfg.machine_threads = threads;
+            }
+            KernelMode::LeapEpoch(threads) => {
+                cfg.dense_kernel = false;
+                cfg.batch_kernel = true;
+                cfg.leap_kernel = true;
                 cfg.machine_threads = threads;
             }
         }
@@ -94,7 +111,7 @@ fn assert_trace_invariants(engine: EngineKind, workload: &WorkloadSpec) {
     );
     assert_eq!(trace.dropped, 0, "{label} on {name}: the test scale must trace losslessly");
 
-    // Invariant 2: the JSONL trace stream is byte-identical across all six
+    // Invariant 2: the JSONL trace stream is byte-identical across all nine
     // kernel modes.
     let reference = trace_to_jsonl(&trace);
     for mode in KernelMode::ALL {
